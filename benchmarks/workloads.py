@@ -1,0 +1,165 @@
+"""Workload builders shared by the E1–E8 benchmark harnesses.
+
+Everything here is deterministic (seeded) so benchmark runs are
+repeatable; the builders return the same core objects the library's
+public API consumes (`Program`, `Database`, `ConjunctiveQuery`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.core.instance import Database
+from repro.core.program import Program
+from repro.core.query import ConjunctiveQuery
+from repro.core.terms import Constant
+from repro.lang.parser import parse_program, parse_query
+from repro.tiling.system import TilingSystem
+
+
+def tc_linear_chain(n: int) -> Tuple[Program, Database]:
+    """Linear transitive closure over a length-*n* chain (WARD ∩ PWL)."""
+    facts = " ".join(f"e(n{i},n{i+1})." for i in range(n - 1))
+    return parse_program(facts + """
+        t(X,Y) :- e(X,Y).
+        t(X,Z) :- e(X,Y), t(Y,Z).
+    """)
+
+
+def tc_doubling_chain(n: int) -> Tuple[Program, Database]:
+    """Doubling transitive closure over a chain (warded, *not* PWL)."""
+    facts = " ".join(f"e(n{i},n{i+1})." for i in range(n - 1))
+    return parse_program(facts + """
+        t(X,Y) :- e(X,Y).
+        t(X,Z) :- t(X,Y), t(Y,Z).
+    """)
+
+
+def tc_linear_random(
+    vertices: int, edges: int, seed: int
+) -> Tuple[Program, Database]:
+    """Linear transitive closure over a seeded random edge relation."""
+    rng = random.Random(seed)
+    pairs: set[Tuple[int, int]] = set()
+    while len(pairs) < edges:
+        a, b = rng.randrange(vertices), rng.randrange(vertices)
+        if a != b:
+            pairs.add((a, b))
+    facts = " ".join(f"e(n{a},n{b})." for a, b in sorted(pairs))
+    return parse_program(facts + """
+        t(X,Y) :- e(X,Y).
+        t(X,Z) :- e(X,Y), t(Y,Z).
+    """)
+
+
+def level_chain_program(levels: int, n: int = 10) -> Tuple[Program, Database]:
+    """A WARD ∩ PWL program with *levels* strata of linear recursion.
+
+    ``p1`` is the transitive closure of ``e``; each ``p(k)`` copies
+    ``p(k-1)`` and closes it again, so the predicate level ℓΣ — and with
+    it the node-width polynomial f_WARD∩PWL — grows linearly in *levels*
+    while the database stays fixed (the combined-complexity observable).
+    """
+    facts = " ".join(f"e(n{i},n{i+1})." for i in range(n - 1))
+    rules: List[str] = [
+        "p1(X,Y) :- e(X,Y).",
+        "p1(X,Z) :- e(X,Y), p1(Y,Z).",
+    ]
+    for k in range(2, levels + 1):
+        rules.append(f"p{k}(X,Y) :- p{k - 1}(X,Y).")
+        rules.append(f"p{k}(X,Z) :- e(X,Y), p{k}(Y,Z).")
+    return parse_program(facts + "\n" + "\n".join(rules))
+
+
+def layered_strata_program(
+    levels: int, n: int = 12
+) -> Tuple[Program, Database]:
+    """*levels* stacked transitive closures, each over its own edge set.
+
+    Each stratum feeds the next (``t(k)`` starts from ``t(k-1)``), giving
+    a deep PWL stratification — the E8 materialization workload.
+    """
+    facts: List[str] = []
+    for k in range(1, levels + 1):
+        facts.extend(f"e{k}(m{k}_{i},m{k}_{i+1})." for i in range(n - 1))
+    rules = ["t1(X,Y) :- e1(X,Y).", "t1(X,Z) :- e1(X,Y), t1(Y,Z)."]
+    for k in range(2, levels + 1):
+        rules.append(f"t{k}(X,Y) :- t{k - 1}(X,Y).")
+        rules.append(f"t{k}(X,Z) :- e{k}(X,Y), t{k}(Y,Z).")
+    return parse_program(" ".join(facts) + "\n" + "\n".join(rules))
+
+
+def skewed_join_program(
+    chain: int = 30, fanout: int = 8, wide: int = 200
+) -> Tuple[Program, Database]:
+    """A PWL recursion whose rule body is *written* in the worst order.
+
+    The recursive rule reads ``u(Z,W), h(Y,Z), t(X,Y), e(Y,YY)`` — the
+    large unselective ``u`` first and the recursive ``t`` last.  Without
+    the Section 7(2) bias the engine probes ``u`` unbound (``wide``
+    bindings per event); with the bias the recursive atom is pinned
+    first and the probe chain stays bound.
+    """
+    facts = [f"e(n{i},n{i+1})." for i in range(chain - 1)]
+    facts += [f"h(n{i},w{i % fanout})." for i in range(chain)]
+    facts += [f"u(w{i % fanout},z{i})." for i in range(wide)]
+    text = " ".join(facts) + """
+        t(X,Y) :- e(X,Y).
+        t(X,W) :- u(Z,W), h(Y,Z), t(X,Y), e(Y,YY).
+    """
+    return parse_program(text)
+
+
+def reachability_query() -> ConjunctiveQuery:
+    return parse_query("q(X,Y) :- t(X,Y).")
+
+
+def node(i: int) -> Constant:
+    return Constant(f"n{i}")
+
+
+def solvable_tiling() -> TilingSystem:
+    """A system with a 2×2 tiling (a r / b r)."""
+    return TilingSystem.make(
+        tiles={"a", "b", "r"},
+        left={"a", "b"},
+        right={"r"},
+        horizontal={("a", "r"), ("b", "r")},
+        vertical={("a", "b"), ("r", "r"), ("a", "a"), ("b", "b")},
+        start="a",
+        finish="b",
+    )
+
+
+def unsolvable_tiling() -> TilingSystem:
+    """Same shape, but no vertical step ever reaches the finish tile."""
+    return TilingSystem.make(
+        tiles={"a", "b", "r"},
+        left={"a", "b"},
+        right={"r"},
+        horizontal={("a", "r"), ("b", "r")},
+        vertical={("a", "a"), ("r", "r")},
+        start="a",
+        finish="b",
+    )
+
+
+def wide_tiling(width: int) -> TilingSystem:
+    """A system whose only tilings have exactly *width* columns.
+
+    Rows must read ``a c c ... c r``; the finish row is ``b c ... c r``.
+    """
+    return TilingSystem.make(
+        tiles={"a", "b", "c", "r"},
+        left={"a", "b"},
+        right={"r"},
+        horizontal=(
+            {("a", "c"), ("b", "c"), ("c", "c"), ("c", "r")}
+            if width > 2
+            else {("a", "r"), ("b", "r")}
+        ),
+        vertical={("a", "b"), ("c", "c"), ("r", "r"), ("a", "a"), ("b", "b")},
+        start="a",
+        finish="b",
+    )

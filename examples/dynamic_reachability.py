@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Dynamic reasoning: maintain certain answers under a fact stream.
+
+Section 7 of the paper plans to exploit the Dyn-FO membership of
+reachability: "by maintaining suitable auxiliary data structures when
+updating a graph, reachability testing can actually be done in FO, and
+thus in SQL."  This example maintains the certain answers of a
+transitive-closure query over a live stream of ownership facts — every
+insertion is one quantifier-free FO-rule update, every certainty check
+an O(1) lookup — and cross-checks the view against a from-scratch
+engine run after each update.
+
+Run:  python examples/dynamic_reachability.py
+"""
+
+from repro import parse_program, parse_query
+from repro.core.atoms import Atom
+from repro.core.instance import Database
+from repro.core.terms import Constant
+from repro.datalog.seminaive import datalog_answers
+from repro.dynfo import IncrementalReasoner
+
+
+def main() -> None:
+    program, _ = parse_program("""
+        controls(X, Y) :- owns(X, Y).
+        controls(X, Z) :- owns(X, Y), controls(Y, Z).
+    """)
+    query = parse_query("q(X, Y) :- controls(X, Y).")
+
+    reasoner = IncrementalReasoner(program)
+    pattern = reasoner.pattern
+    print("recognized closure shape:")
+    print(f"  edge predicate:    {pattern.edge_predicate}")
+    print(f"  closure predicate: {pattern.closure_predicate}")
+    print(f"  orientation:       {pattern.orientation}-linear\n")
+
+    stream = [
+        ("meridian", "atlas"),
+        ("atlas", "coastal"),
+        ("coastal", "harbor"),
+        ("quartz", "meridian"),
+        ("harbor", "quartz"),     # closes a control cycle!
+    ]
+
+    database = Database()
+    for owner, owned in stream:
+        fact = Atom("owns", (Constant(owner), Constant(owned)))
+        database.add(fact)
+        new_pairs = reasoner.insert(fact)
+        print(f"+ owns({owner}, {owned}) → {new_pairs} new certain pair(s)")
+
+        maintained = reasoner.answers()
+        recomputed = datalog_answers(query, database, program)
+        assert maintained == recomputed, "maintained view diverged!"
+        print(f"  |cert| = {len(maintained)} (cross-checked: OK)")
+
+    print("\nafter the cycle closes, self-control becomes certain:")
+    for company in ("meridian", "atlas", "quartz"):
+        pair = (Constant(company), Constant(company))
+        print(f"  controls({company}, {company}): {reasoner.certain(pair)}")
+
+    stats = reasoner.index.stats
+    print(
+        f"\nFO-rule work: {stats.pairs_examined} candidate pairs examined "
+        f"across {stats.insertions} insertions "
+        f"({stats.pairs_added} closure pairs added)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Expressive power in practice: rewriting (WARD ∩ PWL, CQ) to Datalog.
+
+Lemma 6.4 turns a warded piece-wise linear query into an equivalent
+piece-wise linear *Datalog* query over fresh C[p] predicates — one per
+canonical proof-tree node label.  This script builds the rewriting for
+a reachability query, prints (a sample of) the generated rules, and
+verifies equivalence against the direct proof-tree engine; it closes
+with the Lemma 6.7 witness showing the translation cannot preserve the
+*program* expressive power (value invention is genuinely stronger).
+
+Run:  python examples/rewriting_to_datalog.py
+"""
+
+from repro import parse_program, parse_query, certain_answers
+from repro.analysis import is_piecewise_linear
+from repro.datalog import datalog_answers
+from repro.expressiveness import (
+    pwl_to_datalog,
+    refutes_full_program,
+    separation_witness,
+)
+
+
+def main() -> None:
+    program, database = parse_program("""
+        edge(a, b).  edge(b, c).  edge(c, d).  edge(b, e).
+        reach(X, Y) :- edge(X, Y).
+        reach(X, Z) :- edge(X, Y), reach(Y, Z).
+    """)
+    query = parse_query("q(X, Y) :- reach(X, Y).")
+
+    rewriting = pwl_to_datalog(query, program, width_bound=3)
+    print(f"rewriting: {rewriting.states} canonical labels, "
+          f"{rewriting.rules} rules, complete={rewriting.complete}")
+    print(f"output program is full (Datalog):      "
+          f"{rewriting.program.is_full()}")
+    print(f"output program is piece-wise linear:   "
+          f"{is_piecewise_linear(rewriting.program)}")
+
+    print("\nsample of generated rules:")
+    for rule in list(rewriting.program)[:8]:
+        print(f"  [{rule.label:5s}] {rule}")
+
+    direct = certain_answers(query, database, program, method="pwl")
+    via_datalog = datalog_answers(rewriting.query, database, rewriting.program)
+    print(f"\nanswers agree with the direct engine: {via_datalog == direct}")
+    print(f"  {len(direct)} certain answers")
+
+    print("\n== the Lemma 6.7 separation ==")
+    witness = separation_witness()
+    print(f"Σ = {{ {witness.program[0]} }},  D = {{ P(c) }}")
+    print("q1 = Q ← R(x,y)        q2 = Q ← R(x,y), P(y)")
+    q1 = certain_answers(witness.q1, witness.database, witness.program,
+                         method="pwl")
+    q2 = certain_answers(witness.q2, witness.database, witness.program,
+                         method="pwl")
+    print(f"Q1(D) = {q1}   Q2(D) = {q2}")
+    from repro.core import Atom, Program, TGD, Variable
+
+    x = Variable("x")
+    naive = Program([TGD((Atom("P", (x,)),), (Atom("R", (x, x)),))])
+    print("a Datalog candidate P(x) → R(x,x) is refuted: "
+          f"{refutes_full_program(naive)}")
+    print("(no single Datalog program matches Σ on every CQ — value "
+          "invention separates the program expressive powers)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Space efficiency, observed: NLogSpace-style search vs. materialization.
+
+Theorem 4.2 says WARD ∩ PWL query answering is NLogSpace in data
+complexity: the decision procedure holds one polynomial-size CQ and
+sweeps configurations, instead of materializing the chase.  This script
+measures the two observables on growing chain databases:
+
+* the chase materializes Θ(n²) transitive-closure facts,
+* the linear proof search for a single decision visits a frontier whose
+  *width* stays constant and whose size grows only linearly.
+
+Run:  python examples/space_efficiency_demo.py
+"""
+
+from repro.chase import chase
+from repro.core import Atom, Constant, Database
+from repro.lang.parser import parse_program, parse_query
+from repro.reasoning import decide_pwl_ward
+
+
+def chain_database(n: int) -> Database:
+    database = Database()
+    for i in range(n - 1):
+        database.add(Atom("edge", (Constant(f"n{i}"), Constant(f"n{i+1}"))))
+    return database
+
+
+def main() -> None:
+    program, _ = parse_program("""
+        reach(X, Y) :- edge(X, Y).
+        reach(X, Z) :- edge(X, Y), reach(Y, Z).
+    """)
+    query = parse_query("q(X, Y) :- reach(X, Y).")
+
+    header = (
+        f"{'n':>5} {'chase atoms':>12} {'search states':>14} "
+        f"{'frontier peak':>14} {'max CQ width':>13}"
+    )
+    print(header)
+    print("-" * len(header))
+    for n in (8, 16, 32, 64):
+        database = chain_database(n)
+        materialized = chase(database, program)
+        decision = decide_pwl_ward(
+            query,
+            (Constant("n0"), Constant(f"n{n-1}")),
+            database,
+            program,
+        )
+        assert decision.accepted
+        print(
+            f"{n:>5} {len(materialized.instance):>12} "
+            f"{decision.stats.visited:>14} "
+            f"{decision.stats.max_frontier:>14} "
+            f"{decision.stats.max_width:>13}"
+        )
+
+    print()
+    print("The chase column grows quadratically (it materializes all of")
+    print("reach); the search columns grow linearly with constant width —")
+    print("the deterministic image of the NLogSpace bound of Theorem 4.2.")
+
+
+if __name__ == "__main__":
+    main()

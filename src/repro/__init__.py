@@ -1,0 +1,66 @@
+"""repro — a reproduction of "The Space-Efficient Core of Vadalog" (PODS 2019).
+
+The package implements warded Datalog∃ (warded sets of tuple-generating
+dependencies) with piece-wise linear recursion: the static analyses that
+define the classes WARD and PWL, the chase, the proof-tree machinery and
+the space-bounded query-answering algorithms of the paper, the
+expressive-power translations, the Section 5 undecidability reduction,
+and a Vadalog-style evaluation engine with the Section 7 optimizations.
+
+Quickstart::
+
+    from repro import parse_program, parse_query, certain_answers
+
+    program, database = parse_program('''
+        edge(a, b).  edge(b, c).
+        tc(X, Y) :- edge(X, Y).
+        tc(X, Z) :- edge(X, Y), tc(Y, Z).
+    ''')
+    query = parse_query("q(X, Y) :- tc(X, Y).")
+    print(certain_answers(query, database, program))
+"""
+
+from .core import (
+    Atom,
+    Constant,
+    ConjunctiveQuery,
+    Database,
+    Instance,
+    Null,
+    Program,
+    Substitution,
+    TGD,
+    Variable,
+)
+from .lang import parse_atom, parse_program, parse_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "Constant",
+    "Variable",
+    "Null",
+    "Substitution",
+    "TGD",
+    "Program",
+    "ConjunctiveQuery",
+    "Instance",
+    "Database",
+    "parse_program",
+    "parse_query",
+    "parse_atom",
+    "certain_answers",
+    "__version__",
+]
+
+
+def certain_answers(query, database, program, **kwargs):
+    """Compute ``cert(q, D, Σ)``; see :func:`repro.reasoning.certain_answers`.
+
+    Imported lazily so that the core package works even while the
+    reasoning layer is exercised in isolation.
+    """
+    from .reasoning import certain_answers as _certain_answers
+
+    return _certain_answers(query, database, program, **kwargs)

@@ -1,0 +1,88 @@
+"""Predicate levels and the node-width polynomials (Section 4.2).
+
+For a set Σ of TGDs, ``ℓΣ`` is the unique function with
+
+    ℓΣ(P) = max{ ℓΣ(R) | (R, P) ∈ E, R ∉ rec(P) } + 1
+
+(``max ∅ = 0``), where E are the edges of the predicate graph and
+``rec(P)`` the predicates mutually recursive with P.  The edges that
+survive the ``R ∉ rec(P)`` filter form a DAG (an edge inside a common
+cycle is excluded by definition), so the recurrence is well-founded and
+a topological dynamic program computes all levels in linear time.
+
+From levels the paper defines the node-width bounds used by the
+reasoning algorithms:
+
+* ``f_WARD∩PWL(q, Σ) = (|q| + 1) · max_P ℓΣ(P) · max_σ |body(σ)|``
+  (linear proof trees, Theorem 4.8),
+* ``f_WARD(q, Σ) = 2 · max(|q|, max_σ |body(σ)|)``
+  (arbitrary proof trees, Theorem 4.9).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.program import Program
+from ..core.query import ConjunctiveQuery
+from .predicate_graph import PredicateGraph
+
+__all__ = [
+    "predicate_levels",
+    "max_level",
+    "node_width_bound_pwl",
+    "node_width_bound_ward",
+]
+
+
+def predicate_levels(
+    program: Program, graph: PredicateGraph | None = None
+) -> Dict[str, int]:
+    """Compute ``ℓΣ(P)`` for every predicate P of sch(Σ)."""
+    graph = graph or PredicateGraph(program)
+    vertices = sorted(graph.vertices())
+
+    # Keep only the non-mutually-recursive edges; they form a DAG.
+    dag_preds: Dict[str, set[str]] = {v: set() for v in vertices}
+    for source, target in graph.edges():
+        if not graph.mutually_recursive(source, target):
+            dag_preds[target].add(source)
+
+    levels: Dict[str, int] = {}
+
+    def resolve(predicate: str) -> int:
+        # Iterative DFS with memoization (the DAG can be deep).
+        stack = [predicate]
+        while stack:
+            current = stack[-1]
+            if current in levels:
+                stack.pop()
+                continue
+            missing = [p for p in dag_preds[current] if p not in levels]
+            if missing:
+                stack.extend(missing)
+                continue
+            incoming = [levels[p] for p in dag_preds[current]]
+            levels[current] = (max(incoming) if incoming else 0) + 1
+            stack.pop()
+        return levels[predicate]
+
+    for vertex in vertices:
+        resolve(vertex)
+    return levels
+
+
+def max_level(program: Program) -> int:
+    """``max_{P ∈ sch(Σ)} ℓΣ(P)`` — 0 for an empty schema."""
+    levels = predicate_levels(program)
+    return max(levels.values(), default=0)
+
+
+def node_width_bound_pwl(query: ConjunctiveQuery, program: Program) -> int:
+    """``f_WARD∩PWL(q, Σ)``: node-width bound for linear proof trees."""
+    return (query.width() + 1) * max_level(program) * program.max_body_size()
+
+
+def node_width_bound_ward(query: ConjunctiveQuery, program: Program) -> int:
+    """``f_WARD(q, Σ)``: node-width bound for arbitrary proof trees."""
+    return 2 * max(query.width(), program.max_body_size())

@@ -1,0 +1,201 @@
+"""Elimination of unnecessary non-linear recursion (Section 1.2).
+
+The paper observes that ~15% of the surveyed TGD-sets are not piece-wise
+linear as written, but become piece-wise linear after a "standard
+elimination procedure of unnecessary non-linear recursion".  The
+motivating example rewrites the doubling transitive-closure rule
+
+    E(x,y) → T(x,y)        T(x,y), T(y,z) → T(x,z)
+
+into the right-linear version
+
+    E(x,y) → T(x,y)        E(x,y), T(y,z) → T(x,z).
+
+This module implements that procedure for the *associative composition
+pattern*: a TGD whose body consists of exactly two atoms over the head
+predicate T of the shape ``T(l̄, m̄), T(m̄, r̄) → T(l̄, r̄)`` (the argument
+positions split into a prefix block and a suffix block, chained through
+the middle block m̄, all variables distinct).  Such a rule is replaced by
+one rule per *base* rule of T — a rule whose body has no predicate
+mutually recursive with T and whose head atom carries no existential
+variable — by unfolding the left recursive atom with the base body.
+The classical left-deep-rotation argument for transitive closure shows
+the rewriting preserves certain answers for this pattern.
+
+Rules outside the pattern are left untouched; :func:`linearize` reports
+whether the program became piece-wise linear.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..core.atoms import Atom
+from ..core.program import Program
+from ..core.substitution import Substitution
+from ..core.terms import Term, Variable
+from ..core.tgd import TGD
+from .piecewise import is_piecewise_linear, recursive_body_atoms
+from .predicate_graph import PredicateGraph
+
+__all__ = ["linearize", "LinearizationResult", "find_composition_pattern"]
+
+
+@dataclass(frozen=True)
+class LinearizationResult:
+    """Outcome of :func:`linearize`."""
+
+    program: Program
+    changed: bool
+    piecewise_linear: bool
+    notes: tuple[str, ...] = field(default=())
+
+
+def find_composition_pattern(
+    tgd: TGD,
+) -> Optional[Tuple[Atom, Atom, int]]:
+    """Detect the associative composition pattern in *tgd*.
+
+    Returns ``(left_atom, right_atom, split)`` where *split* is the size
+    of the prefix block: the rule has the shape
+    ``T(l̄, m̄), T(m̄, r̄) → T(l̄, r̄)`` with ``|l̄| = split``.  Returns None
+    if the TGD does not match.
+    """
+    if len(tgd.head) != 1 or len(tgd.body) != 2:
+        return None
+    head = tgd.head[0]
+    first, second = tgd.body
+    if not (head.predicate == first.predicate == second.predicate):
+        return None
+    arity = head.arity
+    if first.arity != arity or second.arity != arity:
+        return None
+    head_vars = list(head.args)
+    if len(set(head_vars)) != arity or not all(
+        isinstance(t, Variable) for t in head_vars
+    ):
+        return None
+
+    for left, right in ((first, second), (second, first)):
+        for split in range(1, arity):
+            prefix = head_vars[:split]
+            suffix = head_vars[split:]
+            middle = list(left.args[split:])
+            if (
+                list(left.args[:split]) == prefix
+                and list(right.args[: arity - split]) == middle
+                and list(right.args[arity - split:]) == suffix
+                and all(isinstance(t, Variable) for t in middle)
+                and len({*prefix, *suffix, *middle}) == len(prefix) + len(suffix) + len(middle)
+            ):
+                return left, right, split
+    return None
+
+
+def _base_rules(
+    program: Program, predicate: str, graph: PredicateGraph
+) -> List[TGD]:
+    """Rules defining *predicate* whose body is recursion-free w.r.t. it
+    and whose head atom for *predicate* has no existential variables."""
+    bases: List[TGD] = []
+    for tgd in program:
+        if len(tgd.head) != 1 or tgd.head[0].predicate != predicate:
+            continue
+        if any(
+            graph.mutually_recursive(atom.predicate, predicate)
+            for atom in tgd.body
+        ):
+            continue
+        head_atom = tgd.head[0]
+        existentials = tgd.existential_variables()
+        if any(
+            isinstance(t, Variable) and t in existentials for t in head_atom.args
+        ):
+            continue
+        bases.append(tgd)
+    return bases
+
+
+def _unfold(
+    composition: TGD, left: Atom, base: TGD, counter: itertools.count
+) -> Optional[TGD]:
+    """Replace *left* in *composition*'s body by the body of *base*.
+
+    The base rule is renamed apart, its head atom matched against *left*
+    position-wise (all of *left*'s arguments are distinct variables, so
+    the match is a plain substitution from base-head terms to the rule's
+    variables).
+    """
+    renamed = base.rename(f"lin{next(counter)}")
+    base_head = renamed.head[0]
+    mapping: dict[Term, Term] = {}
+    for base_term, rule_term in zip(base_head.args, left.args):
+        if not isinstance(base_term, Variable):
+            return None
+        existing = mapping.get(base_term)
+        if existing is not None and existing != rule_term:
+            return None
+        mapping[base_term] = rule_term
+    subst = Substitution(mapping)
+    new_body = tuple(
+        subst.apply_atom(atom) for atom in renamed.body
+    ) + tuple(a for a in composition.body if a is not left)
+    return TGD(new_body, composition.head, label=f"{composition.label or 'lin'}")
+
+
+def linearize(program: Program) -> LinearizationResult:
+    """Apply the elimination procedure until PWL or no rule matches.
+
+    Only single-head programs are rewritten; multi-head programs are
+    normalized first (the normal form preserves the recursion classes).
+    """
+    current = program.single_head()
+    counter = itertools.count()
+    notes: List[str] = []
+    changed = False
+
+    for _ in range(len(current) + 1):  # each pass removes ≥ 1 violation
+        if is_piecewise_linear(current):
+            break
+        graph = PredicateGraph(current)
+        rewritten: List[TGD] = []
+        progress = False
+        for tgd in current:
+            if progress:
+                rewritten.append(tgd)
+                continue
+            if len(recursive_body_atoms(tgd, graph)) <= 1:
+                rewritten.append(tgd)
+                continue
+            pattern = find_composition_pattern(tgd)
+            if pattern is None:
+                rewritten.append(tgd)
+                continue
+            left, _right, _split = pattern
+            bases = _base_rules(current, left.predicate, graph)
+            if not bases:
+                rewritten.append(tgd)
+                continue
+            unfolded = [_unfold(tgd, left, base, counter) for base in bases]
+            if any(u is None for u in unfolded):
+                rewritten.append(tgd)
+                continue
+            rewritten.extend(u for u in unfolded if u is not None)
+            notes.append(
+                f"unfolded non-linear rule '{tgd}' through "
+                f"{len(bases)} base rule(s) of {left.predicate}"
+            )
+            progress = True
+            changed = True
+        if not progress:
+            break
+        current = Program(rewritten, name=program.name)
+
+    return LinearizationResult(
+        program=current,
+        changed=changed,
+        piecewise_linear=is_piecewise_linear(current),
+        notes=tuple(notes),
+    )

@@ -1,0 +1,102 @@
+"""Piece-wise linearity and related recursion classes (Section 4).
+
+* **PWL** (Definition 4.1): Σ is piece-wise linear if every TGD has at
+  most one body atom whose predicate is mutually recursive with a
+  predicate of the head.
+* **IL** (Section 5): Σ is intensionally linear if every TGD has at most
+  one body atom whose predicate is intensional (occurs in some head of
+  Σ).  IL ⊆ PWL, and IL generalizes linear Datalog with existentials.
+* **linear Datalog**: full single-head TGDs with at most one intensional
+  body atom.
+
+The module also reports, per TGD, which body atoms are "recursive" in
+the PWL sense — the optimizer (Section 7(2)) uses exactly this to bias
+join ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.atoms import Atom
+from ..core.program import Program
+from ..core.tgd import TGD
+from .predicate_graph import PredicateGraph
+
+__all__ = [
+    "is_piecewise_linear",
+    "is_intensionally_linear",
+    "is_linear_datalog",
+    "piecewise_report",
+    "PiecewiseReport",
+    "recursive_body_atoms",
+]
+
+
+def recursive_body_atoms(
+    tgd: TGD, graph: PredicateGraph
+) -> list[Atom]:
+    """Body atoms whose predicate is mutually recursive with a head predicate.
+
+    These are the atoms PWL counts; the Vadalog optimizer treats the
+    (at most one, for PWL programs) returned atom specially when
+    ordering joins.
+    """
+    head_preds = tgd.head_predicates()
+    recursive: list[Atom] = []
+    for atom in tgd.body:
+        if any(
+            graph.mutually_recursive(atom.predicate, head_pred)
+            for head_pred in head_preds
+        ):
+            recursive.append(atom)
+    return recursive
+
+
+@dataclass(frozen=True)
+class PiecewiseReport:
+    """Outcome of the PWL check, with per-TGD recursive-atom counts."""
+
+    piecewise_linear: bool
+    per_tgd: tuple[tuple[TGD, tuple[Atom, ...]], ...]
+
+    def violations(self) -> list[tuple[TGD, tuple[Atom, ...]]]:
+        """TGDs with two or more mutually recursive body atoms."""
+        return [(t, atoms) for t, atoms in self.per_tgd if len(atoms) > 1]
+
+
+def piecewise_report(program: Program) -> PiecewiseReport:
+    """Check Definition 4.1 for every TGD of *program*."""
+    graph = PredicateGraph(program)
+    per_tgd = tuple(
+        (tgd, tuple(recursive_body_atoms(tgd, graph))) for tgd in program
+    )
+    return PiecewiseReport(
+        piecewise_linear=all(len(atoms) <= 1 for _, atoms in per_tgd),
+        per_tgd=per_tgd,
+    )
+
+
+def is_piecewise_linear(program: Program) -> bool:
+    """Membership in PWL (Definition 4.1)."""
+    return piecewise_report(program).piecewise_linear
+
+
+def is_intensionally_linear(program: Program) -> bool:
+    """Membership in IL: ≤ 1 intensional body atom per TGD (Section 5)."""
+    intensional = program.intensional_predicates()
+    for tgd in program:
+        count = sum(1 for atom in tgd.body if atom.predicate in intensional)
+        if count > 1:
+            return False
+    return True
+
+
+def is_linear_datalog(program: Program) -> bool:
+    """Linear Datalog: full, single-head, and intensionally linear."""
+    return (
+        program.is_full()
+        and program.is_single_head()
+        and is_intensionally_linear(program)
+    )

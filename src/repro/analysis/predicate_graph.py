@@ -1,0 +1,155 @@
+"""The predicate graph and mutual recursion (Section 4).
+
+The predicate graph ``pg(Σ)`` of a set of TGDs is the directed graph
+whose vertices are the predicates of ``sch(Σ)``, with an edge P → R iff
+some TGD has P in its body and R in its head.  Two predicates are
+*mutually recursive* iff some cycle of ``pg(Σ)`` contains both — i.e.,
+they lie in the same strongly connected component *and* that component
+contains a cycle (a single vertex only qualifies if it has a self-loop).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set
+
+from ..core.program import Program
+
+__all__ = ["PredicateGraph"]
+
+
+class PredicateGraph:
+    """``pg(Σ)`` with SCC decomposition and mutual-recursion queries.
+
+    SCCs are computed once (Tarjan's algorithm, iterative to dodge
+    recursion limits) and all queries are O(1) dictionary lookups after
+    that.
+    """
+
+    def __init__(self, program: Program):
+        self._vertices: Set[str] = set(program.schema())
+        self._edges: Dict[str, Set[str]] = {v: set() for v in self._vertices}
+        for tgd in program:
+            for body_pred in tgd.body_predicates():
+                for head_pred in tgd.head_predicates():
+                    self._edges[body_pred].add(head_pred)
+        self._scc_of: Dict[str, int] = {}
+        self._sccs: List[FrozenSet[str]] = []
+        self._compute_sccs()
+        self._cyclic: Set[int] = self._find_cyclic_components()
+
+    # -- construction helpers -------------------------------------------------
+
+    def _compute_sccs(self) -> None:
+        """Iterative Tarjan SCC over the predicate vertices."""
+        index_counter = 0
+        index: Dict[str, int] = {}
+        lowlink: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+
+        for root in sorted(self._vertices):
+            if root in index:
+                continue
+            work: List[tuple[str, Iterable[str]]] = [
+                (root, iter(sorted(self._edges[root])))
+            ]
+            index[root] = lowlink[root] = index_counter
+            index_counter += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                vertex, successors = work[-1]
+                advanced = False
+                for succ in successors:
+                    if succ not in index:
+                        index[succ] = lowlink[succ] = index_counter
+                        index_counter += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append((succ, iter(sorted(self._edges[succ]))))
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        lowlink[vertex] = min(lowlink[vertex], index[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[vertex])
+                if lowlink[vertex] == index[vertex]:
+                    component: Set[str] = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.add(member)
+                        if member == vertex:
+                            break
+                    scc_id = len(self._sccs)
+                    self._sccs.append(frozenset(component))
+                    for member in component:
+                        self._scc_of[member] = scc_id
+
+    def _find_cyclic_components(self) -> Set[int]:
+        """Components containing a cycle: size > 1, or a self-loop."""
+        cyclic: Set[int] = set()
+        for scc_id, component in enumerate(self._sccs):
+            if len(component) > 1:
+                cyclic.add(scc_id)
+            else:
+                (only,) = component
+                if only in self._edges[only]:
+                    cyclic.add(scc_id)
+        return cyclic
+
+    # -- queries -----------------------------------------------------------
+
+    def vertices(self) -> frozenset[str]:
+        return frozenset(self._vertices)
+
+    def successors(self, predicate: str) -> frozenset[str]:
+        """Predicates R with an edge predicate → R."""
+        return frozenset(self._edges.get(predicate, ()))
+
+    def edges(self) -> set[tuple[str, str]]:
+        """All edges of pg(Σ) as (source, target) pairs."""
+        return {(p, r) for p, succs in self._edges.items() for r in succs}
+
+    def mutually_recursive(self, p: str, r: str) -> bool:
+        """True iff some cycle of pg(Σ) contains both *p* and *r*.
+
+        Note ``mutually_recursive(p, p)`` is True only if *p* lies on a
+        cycle (e.g., a self-loop).
+        """
+        if p not in self._scc_of or r not in self._scc_of:
+            return False
+        same = self._scc_of[p] == self._scc_of[r]
+        return same and self._scc_of[p] in self._cyclic
+
+    def rec(self, predicate: str) -> frozenset[str]:
+        """``rec(P)``: the predicates mutually recursive with *predicate*."""
+        scc_id = self._scc_of.get(predicate)
+        if scc_id is None or scc_id not in self._cyclic:
+            return frozenset()
+        return self._sccs[scc_id]
+
+    def is_recursive_predicate(self, predicate: str) -> bool:
+        """True iff *predicate* lies on some cycle of pg(Σ)."""
+        scc_id = self._scc_of.get(predicate)
+        return scc_id is not None and scc_id in self._cyclic
+
+    def strongly_connected_components(self) -> list[frozenset[str]]:
+        """The SCCs in (reverse) topological discovery order."""
+        return list(self._sccs)
+
+    def condensation_order(self) -> list[frozenset[str]]:
+        """SCCs in topological order (sources first).
+
+        Tarjan emits components in reverse topological order, so the
+        condensation order is simply the reversal.
+        """
+        return list(reversed(self._sccs))
+
+    def has_cycle(self) -> bool:
+        """True iff pg(Σ) contains any cycle (the program is recursive)."""
+        return bool(self._cyclic)

@@ -1,0 +1,114 @@
+"""Wardedness (Definition 3.1).
+
+A set Σ of TGDs is *warded* if for every TGD σ either ``body(σ)`` has no
+dangerous variables, or there is a body atom α — a **ward** — such that
+
+1. all dangerous variables of ``body(σ)`` occur in α, and
+2. every variable that α shares with the rest of the body is harmless.
+
+This module decides membership in WARD and, for diagnosis, produces a
+witness report naming a ward for every TGD (or the reason none exists).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.atoms import Atom, atoms_variables
+from ..core.program import Program
+from ..core.tgd import TGD
+from .affected import affected_positions
+from .variable_roles import VariableRoles, classify_variables
+
+__all__ = ["is_warded", "wardedness_report", "WardednessReport", "TGDWardInfo"]
+
+
+@dataclass(frozen=True)
+class TGDWardInfo:
+    """Per-TGD outcome of the wardedness check."""
+
+    tgd: TGD
+    roles: VariableRoles
+    ward: Optional[Atom]      # a witnessing ward, if one is needed and exists
+    needs_ward: bool          # True iff the TGD has dangerous variables
+    warded: bool              # True iff the TGD satisfies Definition 3.1
+    failure: str = ""         # human-readable reason when warded is False
+
+
+@dataclass(frozen=True)
+class WardednessReport:
+    """Aggregate outcome of checking a whole program."""
+
+    warded: bool
+    per_tgd: tuple[TGDWardInfo, ...]
+
+    def violations(self) -> list[TGDWardInfo]:
+        """The TGDs that break wardedness."""
+        return [info for info in self.per_tgd if not info.warded]
+
+
+def _check_tgd(tgd: TGD, roles: VariableRoles) -> TGDWardInfo:
+    """Find a ward for one TGD, or explain why none exists."""
+    dangerous = roles.dangerous
+    if not dangerous:
+        return TGDWardInfo(
+            tgd=tgd, roles=roles, ward=None, needs_ward=False, warded=True
+        )
+
+    candidates: List[Atom] = [
+        atom for atom in tgd.body if dangerous <= atom.variables()
+    ]
+    if not candidates:
+        return TGDWardInfo(
+            tgd=tgd,
+            roles=roles,
+            ward=None,
+            needs_ward=True,
+            warded=False,
+            failure=(
+                "dangerous variables "
+                + "{" + ", ".join(sorted(v.name for v in dangerous)) + "}"
+                + " do not occur together in any single body atom"
+            ),
+        )
+
+    for candidate in candidates:
+        rest = [a for a in tgd.body if a is not candidate]
+        shared = candidate.variables() & atoms_variables(rest)
+        if shared <= roles.harmless:
+            return TGDWardInfo(
+                tgd=tgd,
+                roles=roles,
+                ward=candidate,
+                needs_ward=True,
+                warded=True,
+            )
+
+    return TGDWardInfo(
+        tgd=tgd,
+        roles=roles,
+        ward=None,
+        needs_ward=True,
+        warded=False,
+        failure=(
+            "every candidate ward shares a non-harmless variable with the "
+            "rest of the body (a harmful join)"
+        ),
+    )
+
+
+def wardedness_report(program: Program) -> WardednessReport:
+    """Check Definition 3.1 for every TGD, with witnesses."""
+    affected = affected_positions(program)
+    infos = tuple(
+        _check_tgd(tgd, classify_variables(tgd, affected)) for tgd in program
+    )
+    return WardednessReport(
+        warded=all(info.warded for info in infos), per_tgd=infos
+    )
+
+
+def is_warded(program: Program) -> bool:
+    """Membership in WARD: every TGD has no dangerous variables or a ward."""
+    return wardedness_report(program).warded

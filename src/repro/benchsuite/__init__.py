@@ -1,0 +1,25 @@
+"""Synthetic benchmark suites emulating the families the paper surveys
+(ChaseBench, iBench, iWarded, DBpedia, industrial) — [SIM] substitutes,
+see DESIGN.md §5 — plus the Section 1.2 recursion-statistics analyzer."""
+
+from .chasebench import generate_chasebench
+from .dbpedia import example_33_program, generate_dbpedia
+from .ibench import generate_ibench
+from .industrial import generate_industrial
+from .iwarded import RECURSION_FLAVOURS, generate_iwarded
+from .scenario import Scenario
+from .stats import RecursionStatistics, classify_corpus, default_corpus
+
+__all__ = [
+    "Scenario",
+    "generate_iwarded",
+    "RECURSION_FLAVOURS",
+    "generate_ibench",
+    "generate_chasebench",
+    "generate_dbpedia",
+    "example_33_program",
+    "generate_industrial",
+    "classify_corpus",
+    "RecursionStatistics",
+    "default_corpus",
+]

@@ -1,0 +1,128 @@
+"""ChaseBench-style scenario generator (**[SIM]**).
+
+ChaseBench (Benedikt et al., PODS 2017) collects data-exchange and
+query-answering scenarios — "doctors", "deep", LUBM-style ontologies —
+characterized by source-to-target mappings plus *target* dependencies
+with existentials that force real chase work.  This generator emulates
+the "doctors"-like shape: entity relations mapped into a target schema
+with invented identifiers, foreign-key-style target TGDs, and a
+configurable amount of (linear or doubling) recursion in the target.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..core.atoms import Atom
+from ..core.instance import Database
+from ..core.program import Program
+from ..core.terms import Constant, Variable
+from ..core.tgd import TGD
+from ..lang.parser import parse_query
+from .scenario import Scenario
+
+__all__ = ["generate_chasebench"]
+
+
+def _vars(*names: str) -> tuple[Variable, ...]:
+    return tuple(Variable(n) for n in names)
+
+
+def generate_chasebench(
+    *,
+    seed: int,
+    entities: int = 10,
+    recursion: str = "linear",   # "none" | "linear" | "linearizable"
+    name: Optional[str] = None,
+) -> Scenario:
+    """Generate a doctors-style schema-mapping scenario."""
+    if recursion not in ("none", "linear", "linearizable"):
+        raise ValueError(f"unsupported recursion flavour {recursion!r}")
+    rng = random.Random(seed)
+    x, y, z, w, k = _vars("X", "Y", "Z", "W", "K")
+
+    doctor = "cb_doctor"          # (name, hospital)
+    hospital = "cb_hospital"      # (hospital, city)
+    works = "cb_worksAt"          # target: (doctor, hospital)
+    employee = "cb_employee"      # target: (person, org, id!)
+    org = "cb_org"                # target: (org,)
+    refers = "cb_refers"          # (doctor, doctor)
+    reachable = "cb_reachable"    # target closure of refers
+
+    rules: List[TGD] = [
+        # ST mappings with key invention.
+        TGD((Atom(doctor, (x, y)),), (Atom(works, (x, y)),), label="st1"),
+        TGD(
+            (Atom(doctor, (x, y)),),
+            (Atom(employee, (x, y, k)),),
+            label="st2",
+        ),
+        TGD((Atom(hospital, (x, y)),), (Atom(org, (x,)),), label="st3"),
+        # Target dependency: every workplace is an organization with
+        # an (invented) registration.
+        TGD((Atom(works, (x, y)),), (Atom(org, (y,)),), label="t1"),
+        TGD(
+            (Atom(org, (x,)),),
+            (Atom(employee, (k, x, w)),),
+            label="t2-foreign-key",
+        ),
+    ]
+
+    planted = "none"
+    if recursion in ("linear", "linearizable"):
+        rules.append(
+            TGD((Atom(refers, (x, y)),), (Atom(reachable, (x, y)),), label="rbase")
+        )
+        if recursion == "linear":
+            rules.append(
+                TGD(
+                    (Atom(refers, (x, y)), Atom(reachable, (y, z))),
+                    (Atom(reachable, (x, z)),),
+                    label="rstep",
+                )
+            )
+            planted = "linear"
+        else:
+            rules.append(
+                TGD(
+                    (Atom(reachable, (x, y)), Atom(reachable, (y, z))),
+                    (Atom(reachable, (x, z)),),
+                    label="rdouble",
+                )
+            )
+            planted = "linearizable"
+
+    program = Program(rules, name=name or f"chasebench-{recursion}-{seed}")
+    database = Database()
+    hospitals = [f"h{i}" for i in range(max(2, entities // 3))]
+    cities = [f"city{i}" for i in range(3)]
+    for i in range(entities):
+        database.add(
+            Atom(
+                doctor,
+                (Constant(f"doc{i}"), Constant(rng.choice(hospitals))),
+            )
+        )
+    for h in hospitals:
+        database.add(Atom(hospital, (Constant(h), Constant(rng.choice(cities)))))
+    for _ in range(entities):
+        a, b = rng.randrange(entities), rng.randrange(entities)
+        if a != b:
+            database.add(
+                Atom(refers, (Constant(f"doc{a}"), Constant(f"doc{b}")))
+            )
+
+    queries = [
+        parse_query(f"q(X) :- {org}(X)."),
+        parse_query(f"q(X,Y) :- {reachable}(X,Y)."),
+    ]
+    return Scenario(
+        name=program.name,
+        suite="chasebench",
+        program=program,
+        database=database,
+        queries=queries,
+        planted_recursion=planted,
+        meta={"entities": entities, "seed": seed},
+    )

@@ -1,0 +1,70 @@
+"""Random relational data generators shared by the scenario builders."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from ..core.atoms import Atom
+from ..core.instance import Database
+from ..core.terms import Constant
+
+__all__ = [
+    "random_edges",
+    "chain_edges",
+    "layered_edges",
+    "add_binary_relation",
+    "add_unary_relation",
+]
+
+
+def chain_edges(n: int, prefix: str = "n") -> List[Tuple[str, str]]:
+    """A simple path n0 → n1 → ... → n_{n-1} (worst case for reachability)."""
+    return [(f"{prefix}{i}", f"{prefix}{i+1}") for i in range(n - 1)]
+
+
+def random_edges(
+    n: int, m: int, rng: random.Random, prefix: str = "n"
+) -> List[Tuple[str, str]]:
+    """*m* distinct directed edges over *n* named vertices (no loops)."""
+    edges: set[Tuple[str, str]] = set()
+    attempts = 0
+    while len(edges) < m and attempts < 50 * m:
+        attempts += 1
+        a = rng.randrange(n)
+        b = rng.randrange(n)
+        if a != b:
+            edges.add((f"{prefix}{a}", f"{prefix}{b}"))
+    return sorted(edges)
+
+
+def layered_edges(
+    layers: int, width: int, rng: random.Random, density: float = 0.5,
+    prefix: str = "v",
+) -> List[Tuple[str, str]]:
+    """A layered DAG: edges only between consecutive layers."""
+    edges: List[Tuple[str, str]] = []
+    for layer in range(layers - 1):
+        for i in range(width):
+            for j in range(width):
+                if rng.random() < density:
+                    edges.append(
+                        (f"{prefix}{layer}_{i}", f"{prefix}{layer+1}_{j}")
+                    )
+    return edges
+
+
+def add_binary_relation(
+    database: Database, predicate: str, pairs: Sequence[Tuple[str, str]]
+) -> None:
+    """Insert (a, b) pairs as facts of a binary predicate."""
+    for a, b in pairs:
+        database.add(Atom(predicate, (Constant(a), Constant(b))))
+
+
+def add_unary_relation(
+    database: Database, predicate: str, values: Sequence[str]
+) -> None:
+    """Insert values as facts of a unary predicate."""
+    for value in values:
+        database.add(Atom(predicate, (Constant(value),)))

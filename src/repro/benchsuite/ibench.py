@@ -1,0 +1,140 @@
+"""iBench-style data-exchange scenario generator (**[SIM]**).
+
+iBench (Arocena et al., PVLDB 2015) generates schema-mapping scenarios
+from primitive patterns: copy, projection, vertical/horizontal
+partitioning, key invention (surrogate values via existentials), and
+fusion joins.  Mappings are source-to-target TGDs — acyclic, hence
+trivially piece-wise linear; their interest for this reproduction is
+existential density and ward structure, plus occasionally a *target*
+dependency adding mild (linear) recursion.
+
+Each generated scenario composes a random multiset of those primitives
+over fresh source relations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..core.atoms import Atom
+from ..core.instance import Database
+from ..core.program import Program
+from ..core.query import ConjunctiveQuery
+from ..core.terms import Constant, Variable
+from ..core.tgd import TGD
+from ..lang.parser import parse_query
+from .scenario import Scenario
+
+__all__ = ["generate_ibench", "PRIMITIVES"]
+
+PRIMITIVES = ("copy", "projection", "partition", "surrogate", "fusion")
+
+
+def _vars(*names: str) -> tuple[Variable, ...]:
+    return tuple(Variable(n) for n in names)
+
+
+def _primitive_rules(kind: str, index: int) -> List[TGD]:
+    """One schema-mapping primitive over fresh relations ``s{index}*``."""
+    x, y, z, k = _vars("X", "Y", "Z", "K")
+    src = f"ib_s{index}"
+    tgt = f"ib_t{index}"
+    if kind == "copy":
+        return [TGD((Atom(src, (x, y)),), (Atom(tgt, (x, y)),), label="copy")]
+    if kind == "projection":
+        return [TGD((Atom(src, (x, y)),), (Atom(tgt, (x,)),), label="proj")]
+    if kind == "partition":
+        # Vertical partitioning with an invented join key.
+        left, right = f"{tgt}_a", f"{tgt}_b"
+        return [
+            TGD(
+                (Atom(src, (x, y)),),
+                (Atom(left, (x, k)), Atom(right, (k, y))),
+                label="partition",
+            )
+        ]
+    if kind == "surrogate":
+        # Key invention: every source tuple gets a surrogate identifier.
+        return [
+            TGD((Atom(src, (x, y)),), (Atom(tgt, (x, y, k)),), label="surrogate")
+        ]
+    if kind == "fusion":
+        other = f"ib_s{index}_b"
+        return [
+            TGD(
+                (Atom(src, (x, y)), Atom(other, (y, z))),
+                (Atom(tgt, (x, z)),),
+                label="fusion",
+            )
+        ]
+    raise ValueError(f"unknown primitive {kind!r}")
+
+
+def generate_ibench(
+    *,
+    seed: int,
+    primitives: int = 5,
+    rows_per_relation: int = 8,
+    add_target_recursion: bool = False,
+    name: Optional[str] = None,
+) -> Scenario:
+    """Generate a data-exchange scenario from random primitives.
+
+    With ``add_target_recursion`` a linear target dependency (a
+    transitive relation over the first target) is appended — iBench's
+    "target tgds" option, still piece-wise linear.
+    """
+    rng = random.Random(seed)
+    rules: List[TGD] = []
+    chosen: List[str] = []
+    for i in range(primitives):
+        kind = rng.choice(PRIMITIVES)
+        chosen.append(kind)
+        rules.extend(_primitive_rules(kind, i))
+
+    planted = "none"
+    if add_target_recursion:
+        x, y, z = _vars("X", "Y", "Z")
+        tgt0 = "ib_t0"
+        closure = "ib_closure"
+        rules.append(
+            TGD((Atom(tgt0, (x, y)),), (Atom(closure, (x, y)),), label="tbase")
+        )
+        rules.append(
+            TGD(
+                (Atom(tgt0, (x, y)), Atom(closure, (y, z))),
+                (Atom(closure, (x, z)),),
+                label="tstep",
+            )
+        )
+        # guarantee tgt0 is binary: force primitive 0 to be a copy
+        rules[0:1] = _primitive_rules("copy", 0)
+        chosen[0] = "copy"
+        planted = "linear"
+
+    program = Program(rules, name=name or f"ibench-{seed}")
+    database = Database()
+    for i in range(primitives):
+        for row in range(rows_per_relation):
+            a = Constant(f"a{rng.randrange(rows_per_relation)}")
+            b = Constant(f"b{rng.randrange(rows_per_relation)}")
+            database.add(Atom(f"ib_s{i}", (a, b)))
+            if chosen[i] == "fusion":
+                c = Constant(f"c{rng.randrange(rows_per_relation)}")
+                database.add(Atom(f"ib_s{i}_b", (b, c)))
+
+    # An atomic probe query over some target relation, arity-correct.
+    target = sorted(program.head_predicates())[0]
+    arity = program.schema()[target]
+    args = ", ".join(f"V{i}" for i in range(arity))
+    queries = [parse_query(f"q(V0) :- {target}({args}).")]
+    return Scenario(
+        name=program.name,
+        suite="ibench",
+        program=program,
+        database=database,
+        queries=queries,
+        planted_recursion=planted,
+        meta={"primitives": chosen, "seed": seed},
+    )

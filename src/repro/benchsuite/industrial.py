@@ -1,0 +1,104 @@
+"""Industrial-style scenario generator (**[SIM]**).
+
+The Vadalog papers motivate the system with financial knowledge-graph
+scenarios from the paper's industrial partners — company ownership and
+control ("person of significant control"), counterparty exposure, and
+similar link-analysis workloads.  This generator produces the classic
+*company control* scenario:
+
+* ``own(x, y)`` — extensional ownership edges between companies;
+* ``control(x, y)`` — x controls y: directly by ownership, or
+  transitively through controlled companies (linear recursion);
+* a PSC variant adds existential officers: every controlled company has
+  a significant controller record with an invented case identifier;
+* the ``nonpwl`` variant models *joint control* — control established
+  by combining two controlled intermediaries — which needs two
+  mutually recursive body atoms (beyond PWL, still warded).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..core.atoms import Atom
+from ..core.instance import Database
+from ..core.program import Program
+from ..core.terms import Constant, Variable
+from ..core.tgd import TGD
+from ..lang.parser import parse_query
+from .graphs import add_binary_relation, random_edges
+from .scenario import Scenario
+
+__all__ = ["generate_industrial"]
+
+
+def _vars(*names: str) -> tuple[Variable, ...]:
+    return tuple(Variable(n) for n in names)
+
+
+def generate_industrial(
+    *,
+    seed: int,
+    companies: int = 15,
+    ownerships: int = 25,
+    flavour: str = "psc",        # "control" | "psc" | "nonpwl"
+    name: Optional[str] = None,
+) -> Scenario:
+    """Generate a company-control knowledge-graph scenario."""
+    if flavour not in ("control", "psc", "nonpwl"):
+        raise ValueError(f"unsupported flavour {flavour!r}")
+    rng = random.Random(seed)
+    x, y, z, k = _vars("X", "Y", "Z", "K")
+    own, control, psc = "ind_own", "ind_control", "ind_psc"
+
+    rules: List[TGD] = [
+        TGD((Atom(own, (x, y)),), (Atom(control, (x, y)),), label="direct"),
+        TGD(
+            (Atom(control, (x, y)), Atom(own, (y, z))),
+            (Atom(control, (x, z)),),
+            label="transitive",
+        ),
+    ]
+    planted = "linear"
+    if flavour == "psc":
+        rules.append(
+            TGD(
+                (Atom(control, (x, y)),),
+                (Atom(psc, (x, y, k)),),
+                label="psc-record",
+            )
+        )
+        planted = "linear"
+    if flavour == "nonpwl":
+        joint = "ind_joint"
+        rules.append(
+            TGD(
+                (Atom(control, (x, y)), Atom(control, (x, z)), Atom(own, (y, z))),
+                (Atom(joint, (x, z)),),
+                label="joint",
+            )
+        )
+        rules.append(
+            TGD((Atom(joint, (x, y)),), (Atom(control, (x, y)),), label="lift")
+        )
+        planted = "nonpwl"
+
+    program = Program(rules, name=name or f"industrial-{flavour}-{seed}")
+    database = Database()
+    add_binary_relation(
+        database, own, random_edges(companies, ownerships, rng, prefix="co")
+    )
+
+    queries = [
+        parse_query(f"q(X,Y) :- {control}(X,Y)."),
+    ]
+    return Scenario(
+        name=program.name,
+        suite="industrial",
+        program=program,
+        database=database,
+        queries=queries,
+        planted_recursion=planted,
+        meta={"companies": companies, "flavour": flavour, "seed": seed},
+    )

@@ -1,0 +1,163 @@
+"""iWarded-style scenario generator (**[SIM]**).
+
+iWarded is "a benchmark specifically targeted at warded sets of TGDs";
+its distinctive feature is that its TGD-sets are *not warded by chance*:
+they exercise existential quantification, harmful variables, and wards
+deliberately.  This generator plants the same features with a chosen
+recursion flavour:
+
+* ``none`` — acyclic rule chains with existentials,
+* ``linear`` — linear recursion over an extensional relation,
+* ``pwl`` — mutually recursive predicate pairs where every rule has
+  exactly one recursive body atom (piece-wise linear, beyond linear),
+* ``linearizable`` — the transitive-closure doubling pattern that the
+  Section 1.2 elimination procedure rewrites into linear form,
+* ``nonpwl`` — rules with two mutually recursive body atoms outside the
+  composition pattern (genuinely beyond PWL, still warded).
+
+Every scenario embeds the warded existential core
+``P(x) → ∃z R(x,z); R(x,y) → P(y)`` (the paper's running example of
+dangerous-variable taming), so wardedness is exercised and not vacuous.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..core.atoms import Atom
+from ..core.instance import Database
+from ..core.program import Program
+from ..core.query import ConjunctiveQuery
+from ..core.terms import Variable
+from ..core.tgd import TGD
+from ..lang.parser import parse_query
+from .graphs import add_binary_relation, add_unary_relation, random_edges
+from .scenario import Scenario
+
+__all__ = ["generate_iwarded", "RECURSION_FLAVOURS"]
+
+RECURSION_FLAVOURS = ("none", "linear", "pwl", "linearizable", "nonpwl")
+
+
+def _variables(*names: str) -> tuple[Variable, ...]:
+    return tuple(Variable(n) for n in names)
+
+
+def _existential_core(prefix: str) -> List[TGD]:
+    """``P(x) → ∃z R(x,z); R(x,y) → P(y)`` with prefixed predicate names."""
+    x, y, z = _variables("X", "Y", "Z")
+    p, r = f"{prefix}P", f"{prefix}R"
+    return [
+        TGD((Atom(p, (x,)),), (Atom(r, (x, z)),), label=f"{prefix}invent"),
+        TGD((Atom(r, (x, y)),), (Atom(p, (y,)),), label=f"{prefix}propagate"),
+    ]
+
+
+def _recursion_rules(flavour: str, prefix: str) -> List[TGD]:
+    """The planted recursion block over EDB relation ``{prefix}e``."""
+    x, y, z, w = _variables("X", "Y", "Z", "W")
+    e, t, s = f"{prefix}e", f"{prefix}t", f"{prefix}s"
+    base = TGD((Atom(e, (x, y)),), (Atom(t, (x, y)),), label="base")
+    if flavour == "none":
+        return [
+            TGD((Atom(e, (x, y)),), (Atom(t, (x, y)),), label="copy"),
+            TGD((Atom(t, (x, y)),), (Atom(s, (x, y)),), label="chain"),
+        ]
+    if flavour == "linear":
+        return [
+            base,
+            TGD(
+                (Atom(e, (x, y)), Atom(t, (y, z))),
+                (Atom(t, (x, z)),),
+                label="linear-step",
+            ),
+        ]
+    if flavour == "pwl":
+        # Two mutually recursive predicates plus an intensional helper
+        # from a lower stratum (the Example 3.3 shape: the body joins a
+        # recursive atom with another *intensional* but non-mutually-
+        # recursive atom — piece-wise linear without being
+        # intensionally linear).
+        h = f"{prefix}h"
+        return [
+            base,
+            TGD((Atom(e, (x, y)),), (Atom(h, (x, y)),), label="helper"),
+            TGD(
+                (Atom(t, (x, y)), Atom(h, (y, z))),
+                (Atom(s, (x, z)),),
+                label="pwl-fwd",
+            ),
+            TGD(
+                (Atom(s, (x, y)), Atom(h, (y, z))),
+                (Atom(t, (x, z)),),
+                label="pwl-back",
+            ),
+        ]
+    if flavour == "linearizable":
+        return [
+            base,
+            TGD(
+                (Atom(t, (x, y)), Atom(t, (y, z))),
+                (Atom(t, (x, z)),),
+                label="doubling",
+            ),
+        ]
+    if flavour == "nonpwl":
+        return [
+            base,
+            TGD(
+                (Atom(t, (x, y)), Atom(s, (y, z))),
+                (Atom(t, (x, z)),),
+                label="mix",
+            ),
+            TGD(
+                (Atom(t, (x, y)), Atom(t, (y, z))),
+                (Atom(s, (x, z)),),
+                label="cross",
+            ),
+        ]
+    raise ValueError(f"unknown recursion flavour {flavour!r}")
+
+
+def generate_iwarded(
+    *,
+    seed: int,
+    flavour: str,
+    vertices: int = 12,
+    edges: int = 18,
+    name: Optional[str] = None,
+) -> Scenario:
+    """Generate one iWarded-style scenario with the given recursion flavour."""
+    rng = random.Random(seed)
+    prefix = "iw_"
+    rules = _recursion_rules(flavour, prefix) + _existential_core(prefix)
+    program = Program(rules, name=name or f"iwarded-{flavour}-{seed}")
+
+    database = Database()
+    add_binary_relation(
+        database, f"{prefix}e", random_edges(vertices, edges, rng)
+    )
+    seeds = sorted({f"n{rng.randrange(vertices)}" for _ in range(3)})
+    add_unary_relation(database, f"{prefix}P", seeds)
+
+    queries = [
+        parse_query(f"q(X,Y) :- {prefix}t(X,Y)."),
+        parse_query(f"q(X) :- {prefix}P(X)."),
+    ]
+    planted = {
+        "none": "none",
+        "linear": "linear",
+        "pwl": "pwl",
+        "linearizable": "linearizable",
+        "nonpwl": "nonpwl",
+    }[flavour]
+    return Scenario(
+        name=program.name,
+        suite="iwarded",
+        program=program,
+        database=database,
+        queries=queries,
+        planted_recursion=planted,
+        meta={"vertices": vertices, "edges": edges, "seed": seed},
+    )

@@ -1,0 +1,40 @@
+"""Benchmark scenarios: a program, a database, queries, and provenance.
+
+The paper surveys TGD-sets from ChaseBench, iBench, iWarded, a
+DBpedia-based benchmark, and industrial sources.  Those suites are not
+redistributable, so :mod:`repro.benchsuite` generates synthetic
+scenarios with the same structural features (**[SIM]**, DESIGN.md §5);
+every generated scenario carries its suite label and the recursion
+flavour it was planted with, so the E1 statistics can be validated
+against ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.instance import Database
+from ..core.program import Program
+from ..core.query import ConjunctiveQuery
+
+__all__ = ["Scenario"]
+
+
+@dataclass
+class Scenario:
+    """One benchmark scenario with its planted ground truth."""
+
+    name: str
+    suite: str                      # "iwarded" | "ibench" | "chasebench" | ...
+    program: Program
+    database: Database
+    queries: List[ConjunctiveQuery] = field(default_factory=list)
+    planted_recursion: str = "none"  # "none"|"linear"|"pwl"|"linearizable"|"nonpwl"
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        return (
+            f"{self.suite}/{self.name}: {len(self.program)} TGDs, "
+            f"{len(self.database)} facts, planted={self.planted_recursion}"
+        )

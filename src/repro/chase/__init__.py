@@ -1,0 +1,31 @@
+"""The chase procedure: triggers, runner, termination control, chase graph."""
+
+from .graph import ChaseGraph, DerivationEdge
+from .runner import ChaseResult, chase, chase_answers
+from .termination import (
+    AlwaysFire,
+    CompositePolicy,
+    DepthPolicy,
+    IsomorphismPolicy,
+    TerminationPolicy,
+    atom_shape,
+)
+from .trigger import Trigger, all_triggers, fire, triggers_for_new_atom
+
+__all__ = [
+    "chase",
+    "chase_answers",
+    "ChaseResult",
+    "Trigger",
+    "all_triggers",
+    "triggers_for_new_atom",
+    "fire",
+    "ChaseGraph",
+    "DerivationEdge",
+    "TerminationPolicy",
+    "AlwaysFire",
+    "DepthPolicy",
+    "IsomorphismPolicy",
+    "CompositePolicy",
+    "atom_shape",
+]

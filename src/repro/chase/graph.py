@@ -1,0 +1,124 @@
+"""The chase graph (Section 4.2).
+
+For a database D and a set Σ of TGDs (and a fixed chase sequence), the
+chase graph ``G^{D,Σ}`` has the atoms of ``chase(D, Σ)`` as vertices and
+an edge (α, β) labeled (σ, h) whenever β was *newly* derived by the
+trigger (σ, h) and α belongs to the trigger's body image.  The graph is
+acyclic (new atoms only point forward) and underlies the chase-tree
+machinery the paper uses to prove Theorems 4.8 and 4.9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.atoms import Atom
+from ..core.substitution import Substitution
+
+__all__ = ["ChaseGraph", "DerivationEdge"]
+
+
+@dataclass(frozen=True)
+class DerivationEdge:
+    """An edge α → β labeled with the trigger (σ index, h) that made β."""
+
+    source: Atom
+    target: Atom
+    tgd_index: int
+    substitution: Substitution
+
+
+class ChaseGraph:
+    """A growing chase graph, recorded while the chase runs."""
+
+    def __init__(self) -> None:
+        self._edges_out: Dict[Atom, List[DerivationEdge]] = {}
+        self._edges_in: Dict[Atom, List[DerivationEdge]] = {}
+        self._vertices: Set[Atom] = set()
+        self._derivation_of: Dict[Atom, Tuple[int, Substitution, Tuple[Atom, ...]]] = {}
+
+    def add_database_atom(self, atom: Atom) -> None:
+        """Register a database fact (a source vertex with no derivation)."""
+        self._vertices.add(atom)
+
+    def record_firing(
+        self,
+        tgd_index: int,
+        substitution: Substitution,
+        body_image: Sequence[Atom],
+        new_atoms: Sequence[Atom],
+    ) -> None:
+        """Record edges from every body atom to every *newly derived* atom."""
+        for new_atom in new_atoms:
+            if new_atom in self._vertices:
+                continue  # only first derivations enter the graph
+            self._vertices.add(new_atom)
+            self._derivation_of[new_atom] = (
+                tgd_index,
+                substitution,
+                tuple(body_image),
+            )
+            for source in body_image:
+                edge = DerivationEdge(source, new_atom, tgd_index, substitution)
+                self._edges_out.setdefault(source, []).append(edge)
+                self._edges_in.setdefault(new_atom, []).append(edge)
+
+    # -- queries -----------------------------------------------------------
+
+    def vertices(self) -> frozenset[Atom]:
+        return frozenset(self._vertices)
+
+    def parents(self, atom: Atom) -> tuple[Atom, ...]:
+        """The body image that first derived *atom* (empty for D-atoms)."""
+        derivation = self._derivation_of.get(atom)
+        return derivation[2] if derivation else ()
+
+    def derivation(self, atom: Atom) -> Optional[Tuple[int, Substitution, Tuple[Atom, ...]]]:
+        """(tgd index, h, body image) of *atom*'s first derivation, or None."""
+        return self._derivation_of.get(atom)
+
+    def is_database_atom(self, atom: Atom) -> bool:
+        """True iff *atom* has no derivation (it came from D)."""
+        return atom in self._vertices and atom not in self._derivation_of
+
+    def ancestors(self, atom: Atom) -> set[Atom]:
+        """All atoms reachable backwards from *atom* (excluding itself)."""
+        seen: Set[Atom] = set()
+        stack = list(self.parents(atom))
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.parents(current))
+        return seen
+
+    def depth_of(self, atom: Atom) -> int:
+        """Derivation depth: 0 for database atoms, else 1 + max parent depth."""
+        memo: Dict[Atom, int] = {}
+
+        def resolve(target: Atom) -> int:
+            stack = [target]
+            while stack:
+                current = stack[-1]
+                if current in memo:
+                    stack.pop()
+                    continue
+                parents = self.parents(current)
+                if not parents:
+                    memo[current] = 0
+                    stack.pop()
+                    continue
+                missing = [p for p in parents if p not in memo]
+                if missing:
+                    stack.extend(missing)
+                    continue
+                memo[current] = 1 + max(memo[p] for p in parents)
+                stack.pop()
+            return memo[target]
+
+        return resolve(atom)
+
+    def __len__(self) -> int:
+        return len(self._vertices)

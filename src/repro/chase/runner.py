@@ -1,0 +1,169 @@
+"""The chase procedure (Section 2).
+
+Given a database D and a set Σ of TGDs, a chase sequence applies
+applicable triggers fairly until the accumulated instance satisfies Σ.
+The result ``chase(D, Σ)`` is unique enough for query answering: every
+result embeds homomorphically into every other (Proposition 2.1:
+``cert(q, D, Σ) = q(chase(D, Σ))``).
+
+Two variants are provided:
+
+* **restricted** (default) — a trigger fires only if its head is not
+  already satisfied (the body match does not extend to a head match);
+  terminates on many practical programs;
+* **oblivious** — every trigger fires exactly once; simpler structure,
+  bigger instances.
+
+Termination is controlled by resource limits (steps, atoms, null depth)
+and pluggable :mod:`policies <repro.chase.termination>`; the result
+reports whether the chase *saturated* (no applicable trigger remained)
+or stopped early.  A truncated chase is still sound for certain-answer
+purposes: every atom it contains belongs to some chase result.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional, Sequence, Set
+
+from ..core.atoms import Atom
+from ..core.homomorphism import find_homomorphism
+from ..core.instance import Database, Instance
+from ..core.program import Program
+from ..core.query import ConjunctiveQuery
+from ..core.substitution import Substitution
+from ..core.terms import Constant, NullFactory, Term, Variable
+from .graph import ChaseGraph
+from .termination import AlwaysFire, TerminationPolicy
+from .trigger import Trigger, all_triggers, fire, triggers_for_new_atom
+
+__all__ = ["ChaseResult", "chase", "chase_answers"]
+
+
+@dataclass
+class ChaseResult:
+    """Outcome of a chase run."""
+
+    instance: Instance
+    saturated: bool                 # True iff no applicable trigger remained
+    fired: int                      # number of triggers that fired
+    suppressed: int                 # triggers withheld by the policy
+    graph: Optional[ChaseGraph] = None
+    null_factory: Optional[NullFactory] = None
+
+    def evaluate(self, query: ConjunctiveQuery) -> set[tuple[Constant, ...]]:
+        """``q(chase(D, Σ))`` — equals cert(q, D, Σ) when saturated."""
+        return query.evaluate(self.instance)
+
+
+def _head_already_satisfied(trigger: Trigger, instance: Instance) -> bool:
+    """Restricted-chase check: does h|frontier extend to the head in I?"""
+    frontier = trigger.tgd.frontier()
+    seed: Dict[Variable, Term] = {
+        v: trigger.substitution[v] for v in frontier
+    }
+    return find_homomorphism(list(trigger.tgd.head), instance, seed) is not None
+
+
+def chase(
+    database: Database,
+    program: Program,
+    *,
+    variant: str = "restricted",
+    policy: Optional[TerminationPolicy] = None,
+    max_steps: Optional[int] = None,
+    max_atoms: Optional[int] = None,
+    record_graph: bool = False,
+    null_factory: Optional[NullFactory] = None,
+) -> ChaseResult:
+    """Run a fair chase of *database* under *program*.
+
+    The trigger queue is FIFO over newly derived atoms (semi-naive
+    discovery), which yields a fair sequence: every applicable trigger is
+    eventually considered.  ``max_steps`` bounds fired triggers and
+    ``max_atoms`` bounds the instance size; hitting either limit returns
+    ``saturated=False``.
+    """
+    if variant not in ("restricted", "oblivious"):
+        raise ValueError(f"unknown chase variant {variant!r}")
+    policy = policy or AlwaysFire()
+    factory = null_factory or NullFactory()
+    instance = database.to_instance()
+    graph = ChaseGraph() if record_graph else None
+    if graph is not None:
+        for atom in instance:
+            graph.add_database_atom(atom)
+
+    tgds = list(program)
+    seen_triggers: Set[tuple] = set()
+    queue: Deque[Trigger] = deque()
+
+    def enqueue(trigger: Trigger) -> None:
+        key = trigger.key()
+        if key not in seen_triggers:
+            seen_triggers.add(key)
+            queue.append(trigger)
+
+    for trigger in all_triggers(tgds, instance):
+        enqueue(trigger)
+
+    fired_count = 0
+    suppressed_count = 0
+    saturated = True
+
+    while queue:
+        if max_steps is not None and fired_count >= max_steps:
+            saturated = False
+            break
+        if max_atoms is not None and len(instance) >= max_atoms:
+            saturated = False
+            break
+        trigger = queue.popleft()
+        if variant == "restricted" and _head_already_satisfied(trigger, instance):
+            continue
+        produced, h_prime = fire(trigger, factory)
+        if not policy.should_fire(trigger, produced, instance):
+            suppressed_count += 1
+            continue
+        fired_count += 1
+        new_atoms = [a for a in produced if a not in instance]
+        if graph is not None and new_atoms:
+            graph.record_firing(
+                trigger.tgd_index, h_prime, trigger.body_image(), new_atoms
+            )
+        for atom in new_atoms:
+            instance.add(atom)
+        for atom in new_atoms:
+            for new_trigger in triggers_for_new_atom(tgds, atom, instance):
+                enqueue(new_trigger)
+
+    if not queue and saturated:
+        saturated = True
+    elif queue:
+        saturated = False
+
+    return ChaseResult(
+        instance=instance,
+        saturated=saturated,
+        fired=fired_count,
+        suppressed=suppressed_count,
+        graph=graph,
+        null_factory=factory,
+    )
+
+
+def chase_answers(
+    query: ConjunctiveQuery,
+    database: Database,
+    program: Program,
+    **chase_kwargs,
+) -> set[tuple[Constant, ...]]:
+    """Certain answers via the chase (exact when the chase saturates).
+
+    When the chase is truncated by limits the returned set is a *sound
+    under-approximation* of cert(q, D, Σ): every returned tuple is a
+    certain answer, but some certain answers may be missing.
+    """
+    result = chase(database, program, **chase_kwargs)
+    return result.evaluate(query)

@@ -1,0 +1,128 @@
+"""Homomorphism search: matching sets of atoms into instances.
+
+A homomorphism from a set of atoms A into a set of atoms B is a
+substitution that is the identity on constants and maps every atom of A
+into B.  This is the workhorse of:
+
+* CQ evaluation (``q(I)`` is the set of images of the output variables
+  under homomorphisms from ``atoms(q)`` to I),
+* trigger detection in the chase (σ is applicable iff its body maps into
+  the current instance),
+* the restricted chase's head-satisfaction check.
+
+The search is a standard backtracking join.  Atoms are processed in a
+greedy most-selective-first order: at each step the pending atom with the
+most bound arguments (under the partial assignment built so far) is
+matched next, using the instance's position indexes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Sequence
+
+from .atoms import Atom
+from .instance import Instance
+from .substitution import Substitution
+from .terms import Term, Variable
+
+__all__ = ["homomorphisms", "find_homomorphism", "extends_to_homomorphism"]
+
+
+def _bound_count(atom: Atom, assignment: Dict[Variable, Term]) -> int:
+    """How many arguments of *atom* are ground under *assignment*."""
+    return sum(
+        1
+        for t in atom.args
+        if not isinstance(t, Variable) or t in assignment
+    )
+
+
+def _resolve(atom: Atom, assignment: Dict[Variable, Term]) -> Atom:
+    """Apply the partial assignment to *atom* (unbound variables stay)."""
+    return Atom(
+        atom.predicate,
+        tuple(
+            assignment.get(t, t) if isinstance(t, Variable) else t
+            for t in atom.args
+        ),
+    )
+
+
+def homomorphisms(
+    atoms: Sequence[Atom],
+    instance: Instance,
+    seed: Optional[Dict[Variable, Term]] = None,
+) -> Iterator[Substitution]:
+    """Yield every homomorphism from *atoms* into *instance*.
+
+    *seed* optionally fixes some variables up front (used by the
+    restricted chase to check whether a body match extends to the head).
+    Each yielded substitution binds exactly the variables of *atoms*
+    (plus the seed variables).
+    """
+    pending = list(atoms)
+    assignment: Dict[Variable, Term] = dict(seed or {})
+
+    def backtrack(remaining: list[Atom]) -> Iterator[Substitution]:
+        if not remaining:
+            yield Substitution(dict(assignment))
+            return
+        # Most-selective-first: pick the pending atom with the most
+        # bound arguments; ties broken deterministically by string form.
+        best_index = max(
+            range(len(remaining)),
+            key=lambda i: (
+                _bound_count(remaining[i], assignment),
+                -len(remaining[i].args),
+                str(remaining[i]),
+            ),
+        )
+        chosen = remaining[best_index]
+        rest = remaining[:best_index] + remaining[best_index + 1:]
+        pattern = _resolve(chosen, assignment)
+        for stored in instance.matching(pattern):
+            added: list[Variable] = []
+            consistent = True
+            for p_term, s_term in zip(pattern.args, stored.args):
+                if isinstance(p_term, Variable):
+                    seen = assignment.get(p_term)
+                    if seen is None:
+                        assignment[p_term] = s_term
+                        added.append(p_term)
+                    elif seen != s_term:
+                        consistent = False
+                        break
+            if consistent:
+                yield from backtrack(rest)
+            for var in added:
+                del assignment[var]
+
+    return backtrack(pending)
+
+
+def find_homomorphism(
+    atoms: Sequence[Atom],
+    instance: Instance,
+    seed: Optional[Dict[Variable, Term]] = None,
+) -> Optional[Substitution]:
+    """The first homomorphism from *atoms* into *instance*, or None."""
+    for hom in homomorphisms(atoms, instance, seed):
+        return hom
+    return None
+
+
+def extends_to_homomorphism(
+    partial: Substitution,
+    atoms: Sequence[Atom],
+    instance: Instance,
+) -> bool:
+    """True iff *partial* extends to a homomorphism of *atoms* into *instance*.
+
+    This is the restricted-chase satisfaction check: given a body match
+    ``h``, does ``h|frontier`` extend to the head atoms?
+    """
+    seed = {
+        v: partial[v]
+        for v in partial.variable_domain()
+    }
+    return find_homomorphism(atoms, instance, seed) is not None

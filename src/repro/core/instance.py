@@ -1,0 +1,162 @@
+"""Instances and databases.
+
+An *instance* over a schema is a (possibly infinite — here: finite,
+possibly growing) set of atoms containing constants and nulls; a
+*database* is a finite set of facts, i.e., atoms over constants only
+(Section 2).  Both are backed by per-predicate and per-(position, term)
+indexes so that the chase, homomorphism search, and the reasoning
+algorithms can retrieve matching atoms without scanning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Set
+
+from .atoms import Atom, schema_of
+from .terms import Constant, Null, Term, Variable
+
+__all__ = ["Instance", "Database"]
+
+
+class Instance:
+    """A mutable set of ground atoms (constants and nulls) with indexes.
+
+    The two indexes are:
+
+    * predicate index — predicate name → set of atoms,
+    * position index — (predicate, position, term) → set of atoms, used
+      to seed homomorphism search and trigger matching with bound values.
+    """
+
+    def __init__(self, atoms: Iterable[Atom] = ()):
+        self._atoms: Set[Atom] = set()
+        self._by_predicate: Dict[str, Set[Atom]] = {}
+        self._by_position: Dict[tuple[str, int, Term], Set[Atom]] = {}
+        for atom in atoms:
+            self.add(atom)
+
+    # -- mutation ----------------------------------------------------------
+
+    def add(self, atom: Atom) -> bool:
+        """Insert *atom*; return True iff it was not already present."""
+        if not atom.is_ground():
+            raise ValueError(f"instances contain ground atoms only, got {atom}")
+        if atom in self._atoms:
+            return False
+        self._atoms.add(atom)
+        self._by_predicate.setdefault(atom.predicate, set()).add(atom)
+        for i, term in enumerate(atom.args, start=1):
+            self._by_position.setdefault((atom.predicate, i, term), set()).add(atom)
+        return True
+
+    def add_all(self, atoms: Iterable[Atom]) -> int:
+        """Insert many atoms; return how many were new."""
+        return sum(1 for atom in atoms if self.add(atom))
+
+    # -- queries -----------------------------------------------------------
+
+    def __contains__(self, atom: object) -> bool:
+        return atom in self._atoms
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._atoms)
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def atoms(self) -> frozenset[Atom]:
+        """A frozen snapshot of the current atom set."""
+        return frozenset(self._atoms)
+
+    def with_predicate(self, predicate: str) -> Set[Atom]:
+        """All atoms whose predicate is *predicate* (live view copy)."""
+        return set(self._by_predicate.get(predicate, ()))
+
+    def predicates(self) -> set[str]:
+        """All predicate names with at least one atom."""
+        return {p for p, s in self._by_predicate.items() if s}
+
+    def matching(self, atom: Atom) -> Iterator[Atom]:
+        """Yield stored atoms that could match the (possibly non-ground)
+        pattern *atom*: same predicate, agreeing on every ground argument.
+
+        Uses the most selective available position index; falls back to
+        the predicate index when the pattern has no ground argument.
+        """
+        candidates: Optional[Set[Atom]] = None
+        for i, term in enumerate(atom.args, start=1):
+            if isinstance(term, Variable):
+                continue
+            bucket = self._by_position.get((atom.predicate, i, term), set())
+            if candidates is None or len(bucket) < len(candidates):
+                candidates = bucket
+            if not bucket:
+                return
+        if candidates is None:
+            candidates = self._by_predicate.get(atom.predicate, set())
+        for stored in candidates:
+            if self._agrees(atom, stored):
+                yield stored
+
+    @staticmethod
+    def _agrees(pattern: Atom, stored: Atom) -> bool:
+        if pattern.predicate != stored.predicate or pattern.arity != stored.arity:
+            return False
+        bound: dict[Variable, Term] = {}
+        for p_term, s_term in zip(pattern.args, stored.args):
+            if isinstance(p_term, Variable):
+                seen = bound.get(p_term)
+                if seen is None:
+                    bound[p_term] = s_term
+                elif seen != s_term:
+                    return False
+            elif p_term != s_term:
+                return False
+        return True
+
+    def active_domain(self) -> set[Term]:
+        """``dom(I)``: every constant and null occurring in the instance."""
+        domain: set[Term] = set()
+        for atom in self._atoms:
+            domain.update(atom.args)
+        return domain
+
+    def constants(self) -> set[Constant]:
+        """All constants occurring in the instance."""
+        return {t for t in self.active_domain() if isinstance(t, Constant)}
+
+    def nulls(self) -> set[Null]:
+        """All labeled nulls occurring in the instance."""
+        return {t for t in self.active_domain() if isinstance(t, Null)}
+
+    def schema(self) -> dict[str, int]:
+        """Predicate → arity map inferred from the stored atoms."""
+        return schema_of(self._atoms)
+
+    def copy(self) -> "Instance":
+        """An independent copy sharing no mutable state."""
+        return Instance(self._atoms)
+
+    def __repr__(self) -> str:
+        return f"Instance({len(self._atoms)} atoms)"
+
+
+class Database(Instance):
+    """A finite set of *facts*: atoms over constants only (no nulls)."""
+
+    def add(self, atom: Atom) -> bool:
+        if not atom.is_fact():
+            raise ValueError(
+                f"databases contain facts (constants only), got {atom}"
+            )
+        return super().add(atom)
+
+    def copy(self) -> "Database":
+        return Database(self._atoms)
+
+    def to_instance(self) -> Instance:
+        """An :class:`Instance` copy, suitable as the chase's ``I0``."""
+        return Instance(self._atoms)
+
+    def __repr__(self) -> str:
+        return f"Database({len(self._atoms)} facts)"

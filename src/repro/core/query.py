@@ -1,0 +1,157 @@
+"""Conjunctive queries.
+
+A CQ over a schema S is ``q(x̄) :- ∃ȳ (R1(z̄1) ∧ ... ∧ Rn(z̄n))`` with
+output variables x̄; we adopt the paper's rule-based syntax
+``Q(x̄) ← R1(z̄1), ..., Rn(z̄n)`` (Section 2).  Evaluation ``q(I)`` over an
+instance I is the set of tuples ``h(x̄)`` *of constants* with h a
+homomorphism from ``atoms(q)`` to I — tuples containing nulls are not
+answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .atoms import Atom, atoms_variables
+from .homomorphism import homomorphisms
+from .instance import Instance
+from .substitution import Substitution
+from .terms import Constant, Term, Variable
+
+__all__ = ["ConjunctiveQuery"]
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A conjunctive query ``Q(x̄) ← R1(z̄1), ..., Rn(z̄n)``.
+
+    ``output`` is the tuple x̄ of output variables (possibly with
+    repetitions, possibly empty for a Boolean CQ); every output variable
+    must occur in some body atom.  ``head_predicate`` is the name used
+    when the query is printed in rule form (``Q`` by default).
+    """
+
+    output: tuple[Variable, ...]
+    atoms: tuple[Atom, ...]
+    head_predicate: str = field(default="Q", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.atoms:
+            raise ValueError("a CQ needs at least one body atom")
+        object.__setattr__(self, "output", tuple(self.output))
+        object.__setattr__(self, "atoms", tuple(self.atoms))
+        body_vars = atoms_variables(self.atoms)
+        for v in self.output:
+            if v not in body_vars:
+                raise ValueError(
+                    f"output variable {v} does not occur in the query body"
+                )
+
+    # -- structure ---------------------------------------------------------
+
+    def variables(self) -> set[Variable]:
+        """All variables of the query body."""
+        return atoms_variables(self.atoms)
+
+    def output_variables(self) -> set[Variable]:
+        """The set of output (distinguished) variables."""
+        return set(self.output)
+
+    def existential_variables(self) -> set[Variable]:
+        """Body variables that are not output variables."""
+        return self.variables() - set(self.output)
+
+    def is_boolean(self) -> bool:
+        """True iff the query has no output variables."""
+        return not self.output
+
+    def is_atomic(self) -> bool:
+        """True iff the query body is a single atom."""
+        return len(self.atoms) == 1
+
+    def predicates(self) -> set[str]:
+        """All predicate names in the query body."""
+        return {a.predicate for a in self.atoms}
+
+    def width(self) -> int:
+        """``|q|``: the number of body atoms (the node-width unit)."""
+        return len(self.atoms)
+
+    # -- transformation -------------------------------------------------------
+
+    def apply(self, substitution: Substitution) -> "ConjunctiveQuery":
+        """Apply a substitution to body and output tuple.
+
+        Output positions that become constants are dropped from the
+        variable tuple interface; callers that instantiate outputs should
+        use :meth:`instantiate` instead, which returns the Boolean CQ the
+        decision problem works on.
+        """
+        new_atoms = substitution.apply_atoms(self.atoms)
+        new_output = []
+        for v in self.output:
+            image = substitution.apply_term(v)
+            if isinstance(image, Variable):
+                new_output.append(image)
+        return ConjunctiveQuery(
+            tuple(new_output), new_atoms, head_predicate=self.head_predicate
+        )
+
+    def instantiate(self, answers: Sequence[Constant]) -> tuple[Atom, ...]:
+        """The atoms of ``q(c̄)``: output variables replaced by constants.
+
+        This is the first step of the Section 4.3 algorithm: "store in p
+        the Boolean CQ obtained after instantiating the output variables
+        of q with c̄".  Repeated output variables must receive consistent
+        constants (guaranteed by construction here).
+        """
+        if len(answers) != len(self.output):
+            raise ValueError(
+                f"expected {len(self.output)} constants, got {len(answers)}"
+            )
+        mapping: dict[Term, Term] = {}
+        for var, constant in zip(self.output, answers):
+            existing = mapping.get(var)
+            if existing is not None and existing != constant:
+                raise ValueError(
+                    f"output variable {var} bound to both {existing} and "
+                    f"{constant}"
+                )
+            mapping[var] = constant
+        subst = Substitution(mapping)
+        return subst.apply_atoms(self.atoms)
+
+    def rename(self, suffix: str) -> "ConjunctiveQuery":
+        """Uniformly rename every variable ``x`` to ``x@suffix``."""
+        mapping: dict[Term, Term] = {
+            v: Variable(f"{v.name}@{suffix}") for v in self.variables()
+        }
+        subst = Substitution(mapping)
+        return ConjunctiveQuery(
+            tuple(subst.apply_term(v) for v in self.output),  # type: ignore[misc]
+            subst.apply_atoms(self.atoms),
+            head_predicate=self.head_predicate,
+        )
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate(self, instance: Instance) -> set[tuple[Constant, ...]]:
+        """``q(I)``: all constant output tuples under homomorphisms into I."""
+        answers: set[tuple[Constant, ...]] = set()
+        for hom in homomorphisms(self.atoms, instance):
+            image = tuple(hom.apply_term(v) for v in self.output)
+            if all(isinstance(t, Constant) for t in image):
+                answers.add(image)  # type: ignore[arg-type]
+        return answers
+
+    def holds_in(self, instance: Instance) -> bool:
+        """Boolean evaluation: does some homomorphism into I exist?"""
+        for _ in homomorphisms(self.atoms, instance):
+            return True
+        return False
+
+    def __str__(self) -> str:
+        head_args = ",".join(str(v) for v in self.output)
+        body = ", ".join(str(a) for a in self.atoms)
+        return f"{self.head_predicate}({head_args}) ← {body}"

@@ -1,0 +1,137 @@
+"""Substitutions and homomorphisms.
+
+A *substitution* from a set of terms T to a set of terms T' is a function
+``h : T → T'``.  A *homomorphism* from a set of atoms A to a set of atoms
+B is a substitution over the terms of A that is the identity on constants
+and maps every atom of A into B (Section 2).
+
+:class:`Substitution` is an immutable mapping from terms to terms with the
+identity-on-constants convention baked in: constants (and any term not in
+the explicit mapping) are mapped to themselves.  Homomorphism *search* —
+finding homomorphisms from a set of atoms into an instance — lives in
+:mod:`repro.core.homomorphism`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Optional
+
+from .atoms import Atom
+from .terms import Constant, Term, Variable
+
+__all__ = ["Substitution"]
+
+
+class Substitution(Mapping[Term, Term]):
+    """An immutable substitution, identity outside its explicit domain.
+
+    The mapping is exposed through the standard :class:`Mapping`
+    interface; application to terms, atoms, and collections of atoms goes
+    through :meth:`apply_term`, :meth:`apply_atom`, and
+    :meth:`apply_atoms`.  Substitutions compose with ``@`` following the
+    usual convention: ``(g @ f)(x) == g(f(x))``.
+    """
+
+    __slots__ = ("_map",)
+
+    def __init__(self, mapping: Optional[Mapping[Term, Term]] = None):
+        clean: dict[Term, Term] = {}
+        if mapping:
+            for key, value in mapping.items():
+                if isinstance(key, Constant) and key != value:
+                    raise ValueError(
+                        f"substitution must be the identity on constants; "
+                        f"got {key} -> {value}"
+                    )
+                if key != value:
+                    clean[key] = value
+        self._map = clean
+
+    # -- Mapping interface -------------------------------------------------
+
+    def __getitem__(self, term: Term) -> Term:
+        return self._map.get(term, term)
+
+    def __iter__(self) -> Iterator[Term]:
+        return iter(self._map)
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __contains__(self, term: object) -> bool:
+        return term in self._map
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Substitution):
+            return NotImplemented
+        return self._map == other._map
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._map.items()))
+
+    # -- application -------------------------------------------------------
+
+    def apply_term(self, term: Term) -> Term:
+        """The image of *term*: explicit mapping or the term itself."""
+        return self._map.get(term, term)
+
+    def apply_atom(self, atom: Atom) -> Atom:
+        """Apply the substitution to every argument of *atom*."""
+        return Atom(atom.predicate, tuple(self._map.get(t, t) for t in atom.args))
+
+    def apply_atoms(self, atoms: Iterable[Atom]) -> tuple[Atom, ...]:
+        """Apply the substitution to a collection of atoms, in order."""
+        return tuple(self.apply_atom(a) for a in atoms)
+
+    def apply_terms(self, terms: Iterable[Term]) -> tuple[Term, ...]:
+        """Apply the substitution to a sequence of terms, in order."""
+        return tuple(self._map.get(t, t) for t in terms)
+
+    # -- algebra -------------------------------------------------------------
+
+    def restrict(self, domain: Iterable[Term]) -> "Substitution":
+        """The restriction ``h|_S``: keep only mappings whose key is in *domain*."""
+        keep = set(domain)
+        return Substitution({k: v for k, v in self._map.items() if k in keep})
+
+    def compose(self, first: "Substitution") -> "Substitution":
+        """Return ``self ∘ first``: apply *first*, then *self*.
+
+        ``(self.compose(first))(x) == self(first(x))`` for every term x.
+        """
+        combined: dict[Term, Term] = {}
+        for key, value in first._map.items():
+            combined[key] = self._map.get(value, value)
+        for key, value in self._map.items():
+            if key not in combined:
+                combined[key] = value
+        return Substitution(combined)
+
+    def __matmul__(self, first: "Substitution") -> "Substitution":
+        return self.compose(first)
+
+    def extend(self, key: Term, value: Term) -> "Substitution":
+        """A new substitution with one extra binding (key must be unbound)."""
+        if key in self._map and self._map[key] != value:
+            raise ValueError(f"term {key} already bound to {self._map[key]}")
+        new_map = dict(self._map)
+        new_map[key] = value
+        return Substitution(new_map)
+
+    def is_identity_on(self, terms: Iterable[Term]) -> bool:
+        """True iff the substitution fixes every term in *terms*."""
+        return all(self._map.get(t, t) == t for t in terms)
+
+    def variable_domain(self) -> set[Variable]:
+        """The variables the substitution moves."""
+        return {t for t in self._map if isinstance(t, Variable)}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}->{v}" for k, v in sorted(
+            self._map.items(), key=lambda kv: str(kv[0])))
+        return f"Substitution({{{inner}}})"
+
+    @staticmethod
+    def identity() -> "Substitution":
+        """The empty (identity) substitution."""
+        return Substitution()

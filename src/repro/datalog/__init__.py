@@ -1,0 +1,36 @@
+"""Datalog engine: semi-naive evaluation, PWL-stratum scheduling, and
+stratified negation (the paper's "mild negation")."""
+
+from .negation import (
+    NotStratifiableError,
+    Rule,
+    StratifiedProgram,
+    negation_stratification,
+    parse_stratified_program,
+    stratified_answers,
+    stratified_fixpoint,
+)
+from .seminaive import SemiNaiveResult, datalog_answers, seminaive
+from .strata import (
+    Strata,
+    StratifiedResult,
+    compute_strata,
+    stratified_seminaive,
+)
+
+__all__ = [
+    "seminaive",
+    "SemiNaiveResult",
+    "datalog_answers",
+    "compute_strata",
+    "Strata",
+    "stratified_seminaive",
+    "StratifiedResult",
+    "Rule",
+    "StratifiedProgram",
+    "NotStratifiableError",
+    "parse_stratified_program",
+    "negation_stratification",
+    "stratified_fixpoint",
+    "stratified_answers",
+]

@@ -1,0 +1,34 @@
+"""Dynamic (Dyn-FO-style) maintenance of reachability-shaped reasoning.
+
+Section 7, future-work item (3): "reachability in directed graphs is
+known to be in the dynamic parallel complexity class Dyn-FO [Patnaik &
+Immerman 1997; Datta et al. 2015].  This means that by maintaining
+suitable auxiliary data structures when updating a graph, reachability
+testing can actually be done in FO, and thus in SQL.  We plan to
+analyze whether reasoning under piece-wise linear warded sets of TGDs,
+or relevant subclasses thereof, can be shown to be in Dyn-FO."
+
+This subpackage implements the ingredient the plan rests on and its
+application to reasoning:
+
+* :mod:`reachability <repro.dynfo.reachability>` — an incrementally
+  maintained transitive-closure relation whose per-insertion update is
+  a single quantifier-free FO formula over the maintained auxiliary
+  relation (the Patnaik–Immerman insertion rule), plus a deletion-capable
+  variant ([SIM] — recompute-based, see the module docstring);
+* :mod:`reasoner <repro.dynfo.reasoner>` — an incremental
+  certain-answer view for transitive-closure-shaped WARD ∩ PWL
+  programs: database fact insertions become index updates, and every
+  ``certain(c̄)`` check is a lookup instead of a fresh proof search.
+"""
+
+from .reachability import DynamicReachability, IncrementalReachability
+from .reasoner import ClosurePattern, IncrementalReasoner, closure_pattern
+
+__all__ = [
+    "IncrementalReachability",
+    "DynamicReachability",
+    "IncrementalReasoner",
+    "ClosurePattern",
+    "closure_pattern",
+]

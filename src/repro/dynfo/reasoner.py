@@ -1,0 +1,197 @@
+"""Incremental certain answers for closure-shaped WARD ∩ PWL programs.
+
+The Dyn-FO plan of Section 7(3) concerns "relevant subclasses" of
+piece-wise linear warded reasoning.  The canonical such subclass is the
+transitive-closure shape — the very pattern the paper's Section 1.2
+uses to motivate linearization:
+
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- e(X, Y), t(Y, Z).      (or the left-linear mirror)
+
+:func:`closure_pattern` recognizes that shape (after trying the
+Section 1.2 linearization, so the doubling variant qualifies too), and
+:class:`IncrementalReasoner` maintains ``cert(q, D, Σ)`` for the atomic
+query ``q(X, Y) :- t(X, Y)`` under **fact insertions**: each insert is
+one FO-rule update of the auxiliary closure relation
+(:class:`repro.dynfo.reachability.DynamicReachability`), and each
+certainty check is a lookup — no chase, no proof search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Set, Tuple
+
+from ..analysis.linearization import linearize
+from ..core.atoms import Atom
+from ..core.instance import Database
+from ..core.program import Program
+from ..core.query import ConjunctiveQuery
+from ..core.terms import Constant, Variable
+from ..core.tgd import TGD
+from .reachability import DynamicReachability
+
+__all__ = ["ClosurePattern", "closure_pattern", "IncrementalReasoner"]
+
+
+@dataclass(frozen=True)
+class ClosurePattern:
+    """A recognized transitive-closure program shape."""
+
+    edge_predicate: str
+    closure_predicate: str
+    orientation: str          # "right" (e, t) or "left" (t, e)
+    linearized: bool          # True if Section 1.2 elimination was needed
+
+
+def _is_base_rule(tgd: TGD) -> Optional[Tuple[str, str]]:
+    """Match ``t(X, Y) :- e(X, Y)`` with distinct variables X, Y."""
+    if len(tgd.body) != 1 or len(tgd.head) != 1:
+        return None
+    body, head = tgd.body[0], tgd.head[0]
+    if body.arity != 2 or head.arity != 2:
+        return None
+    if not all(isinstance(t, Variable) for t in body.args + head.args):
+        return None
+    if body.args != head.args or body.args[0] == body.args[1]:
+        return None
+    return body.predicate, head.predicate
+
+
+def _is_step_rule(tgd: TGD, edge: str, closure: str) -> Optional[str]:
+    """Match the linear composition step; returns the orientation."""
+    if len(tgd.body) != 2 or len(tgd.head) != 1:
+        return None
+    head = tgd.head[0]
+    if head.predicate != closure or head.arity != 2:
+        return None
+    by_predicate = {atom.predicate: atom for atom in tgd.body}
+    if set(by_predicate) != {edge, closure}:
+        return None
+    e_atom, t_atom = by_predicate[edge], by_predicate[closure]
+    if e_atom.arity != 2 or t_atom.arity != 2:
+        return None
+    terms = list(e_atom.args) + list(t_atom.args) + list(head.args)
+    if not all(isinstance(t, Variable) for t in terms):
+        return None
+    x, z = head.args
+    # right-linear: e(X, Y), t(Y, Z) → t(X, Z)
+    if e_atom.args[0] == x and e_atom.args[1] == t_atom.args[0] \
+            and t_atom.args[1] == z and len({x, e_atom.args[1], z}) == 3:
+        return "right"
+    # left-linear: t(X, Y), e(Y, Z) → t(X, Z)
+    if t_atom.args[0] == x and t_atom.args[1] == e_atom.args[0] \
+            and e_atom.args[1] == z and len({x, t_atom.args[1], z}) == 3:
+        return "left"
+    return None
+
+
+def closure_pattern(program: Program) -> Optional[ClosurePattern]:
+    """Recognize a two-rule transitive-closure program.
+
+    The doubling form ``t(X,Z) :- t(X,Y), t(Y,Z)`` is accepted after
+    passing it through the Section 1.2 elimination procedure.
+    """
+    for candidate, linearized in ((program, False),
+                                  (linearize(program).program, True)):
+        pattern = _match_closure(candidate)
+        if pattern is not None:
+            return ClosurePattern(
+                edge_predicate=pattern[0],
+                closure_predicate=pattern[1],
+                orientation=pattern[2],
+                linearized=linearized,
+            )
+    return None
+
+
+def _match_closure(program: Program) -> Optional[Tuple[str, str, str]]:
+    if len(program) != 2:
+        return None
+    bases = [(i, _is_base_rule(tgd)) for i, tgd in enumerate(program)]
+    for index, base in bases:
+        if base is None:
+            continue
+        edge, closure = base
+        if edge == closure:
+            continue
+        other = program[1 - index]
+        orientation = _is_step_rule(other, edge, closure)
+        if orientation is not None:
+            return edge, closure, orientation
+    return None
+
+
+class IncrementalReasoner:
+    """Maintains cert(q, D, Σ) for a closure program under insertions.
+
+    ``q`` is the atomic query over the closure predicate.  Facts of the
+    *edge* predicate update the auxiliary relation via the FO rule;
+    facts of any other extensional predicate are accepted and ignored
+    (they cannot affect the closure); facts of the closure predicate
+    are rejected — seeding the IDB directly is outside the maintained
+    shape.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        database: Optional[Database] = None,
+    ):
+        pattern = closure_pattern(program)
+        if pattern is None:
+            raise ValueError(
+                "program is not a recognizable transitive-closure shape; "
+                "the incremental reasoner maintains exactly that subclass "
+                "(Section 7, future work (3))"
+            )
+        self.pattern = pattern
+        self.program = program
+        self.index = DynamicReachability()
+        if database is not None:
+            for atom in sorted(database, key=str):
+                self.insert(atom)
+
+    # -- updates -----------------------------------------------------------
+
+    def insert(self, fact: Atom) -> int:
+        """Apply one fact insertion; returns new closure pairs."""
+        if fact.predicate == self.pattern.closure_predicate:
+            raise ValueError(
+                f"cannot seed the closure predicate "
+                f"{self.pattern.closure_predicate!r} directly"
+            )
+        if fact.predicate != self.pattern.edge_predicate:
+            return 0
+        if fact.arity != 2:
+            raise ValueError(f"edge facts must be binary, got {fact}")
+        return self.index.insert_edge(fact.args[0], fact.args[1])
+
+    def insert_edge(self, source: Constant, target: Constant) -> int:
+        return self.index.insert_edge(source, target)
+
+    def delete_edge(self, source: Constant, target: Constant) -> None:
+        self.index.delete_edge(source, target)
+
+    # -- queries ------------------------------------------------------------
+
+    def certain(self, answer: Tuple[Constant, Constant]) -> bool:
+        """Is ``closure(a, b)`` certain?  A lookup, not a proof search."""
+        return self.index.reaches_strict(answer[0], answer[1])
+
+    def answers(self) -> Set[Tuple[Constant, Constant]]:
+        """The full maintained certain-answer relation."""
+        result: Set[Tuple[Constant, Constant]] = set()
+        for a in self.index.nodes():
+            for b in self.index.nodes():
+                if self.index.reaches_strict(a, b):
+                    result.add((a, b))
+        return result
+
+    def query(self) -> ConjunctiveQuery:
+        """The maintained query, for recompute cross-checks."""
+        x, y = Variable("X"), Variable("Y")
+        return ConjunctiveQuery(
+            (x, y),
+            (Atom(self.pattern.closure_predicate, (x, y)),),
+        )

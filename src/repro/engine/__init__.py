@@ -1,0 +1,15 @@
+"""Vadalog-style evaluation engine: operator network, PWL-aware join
+optimizer, and guide-structure termination control (Section 7)."""
+
+from .guides import LinearForestGuide, NoGuide
+from .operators import EngineResult, OperatorNetwork
+from .optimizer import JoinOptimizer, JoinPlan
+
+__all__ = [
+    "OperatorNetwork",
+    "EngineResult",
+    "JoinOptimizer",
+    "JoinPlan",
+    "LinearForestGuide",
+    "NoGuide",
+]

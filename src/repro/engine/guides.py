@@ -1,0 +1,132 @@
+"""Guide structures for aggressive termination control (Section 7(1)).
+
+The Vadalog system builds *linear forests*, *warded forests*, and
+*lifted linear forests* over the chase to terminate recursion as early
+as possible; the structures themselves are only sketched in the
+literature (reference [6]), so this module implements the closest open
+reconstruction (**[SIM]**, DESIGN.md §5): per-derivation-chain pattern
+tracking over invented nulls.
+
+Every null carries the *pattern* under which it was invented — an
+interned shape ``(rule, body-image shape)`` where nulls inside the shape
+are abstracted to their own patterns.  A new invention is *cut* when its
+pattern already occurs in the ancestry of the nulls it consumes: the
+sub-chase it would open is isomorphic to one already open further up
+the same chain, so no new ground consequence can come from it.  For
+warded programs the number of patterns is bounded, which is exactly why
+the technique terminates the warded chase.
+
+Compared with the global :class:`~repro.chase.termination.IsomorphismPolicy`
+(one representative per shape in the whole instance), the forest guide
+is *per chain* — less aggressive, retaining more of the chase, which is
+the trade-off the E7 ablation benchmark measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..core.atoms import Atom
+from ..core.terms import Constant, Null, Term
+
+__all__ = ["LinearForestGuide", "NoGuide"]
+
+
+class NoGuide:
+    """The trivial guide: never cuts (termination left to resource caps)."""
+
+    def allows(self, rule_index: int, body_image: Sequence[Atom]) -> bool:
+        return True
+
+    def register(
+        self,
+        rule_index: int,
+        body_image: Sequence[Atom],
+        invented: Sequence[Null],
+    ) -> None:
+        pass
+
+
+class LinearForestGuide:
+    """Per-chain pattern tracking over invented nulls.
+
+    ``allows`` is consulted before an existential rule fires;
+    ``register`` records the invention afterwards, assigning the new
+    nulls their pattern and ancestry.
+    """
+
+    def __init__(self) -> None:
+        self._pattern_ids: Dict[tuple, int] = {}
+        self._pattern_of_null: Dict[Null, int] = {}
+        self._ancestry: Dict[Null, FrozenSet[int]] = {}
+        self.cuts = 0
+
+    # -- pattern computation -------------------------------------------------
+
+    def _pattern(self, rule_index: int, body_image: Sequence[Atom]) -> int:
+        """Intern the isomorphism type of a firing.
+
+        Nulls are abstracted positionally (first-occurrence indices
+        across the whole body image, preserving the equality pattern),
+        *not* by their own pattern — recursing into null patterns would
+        make the pattern space unbounded and the guide would never cut.
+        """
+        null_index: Dict[Null, int] = {}
+        shaped: List[tuple] = []
+        for atom in sorted(body_image, key=str):
+            codes = []
+            for term in atom.args:
+                if isinstance(term, Null):
+                    codes.append(
+                        ("null", null_index.setdefault(term, len(null_index)))
+                    )
+                else:
+                    codes.append(("const", str(term)))
+            shaped.append((atom.predicate, tuple(codes)))
+        shape = (rule_index, tuple(shaped))
+        pattern_id = self._pattern_ids.get(shape)
+        if pattern_id is None:
+            pattern_id = len(self._pattern_ids)
+            self._pattern_ids[shape] = pattern_id
+        return pattern_id
+
+    def _input_ancestry(self, body_image: Sequence[Atom]) -> FrozenSet[int]:
+        collected: set[int] = set()
+        for atom in body_image:
+            for term in atom.args:
+                if isinstance(term, Null):
+                    collected.update(self._ancestry.get(term, frozenset()))
+                    pattern = self._pattern_of_null.get(term)
+                    if pattern is not None:
+                        collected.add(pattern)
+        return frozenset(collected)
+
+    # -- guide interface -----------------------------------------------------
+
+    def allows(self, rule_index: int, body_image: Sequence[Atom]) -> bool:
+        """False iff this invention repeats a pattern along its own chain."""
+        pattern = self._pattern(rule_index, body_image)
+        if pattern in self._input_ancestry(body_image):
+            self.cuts += 1
+            return False
+        return True
+
+    def register(
+        self,
+        rule_index: int,
+        body_image: Sequence[Atom],
+        invented: Sequence[Null],
+    ) -> None:
+        """Record the invention: pattern and ancestry for the new nulls."""
+        if not invented:
+            return
+        pattern = self._pattern(rule_index, body_image)
+        ancestry = self._input_ancestry(body_image)
+        for null in invented:
+            self._pattern_of_null[null] = pattern
+            self._ancestry[null] = ancestry
+
+    @property
+    def patterns_seen(self) -> int:
+        return len(self._pattern_ids)

@@ -1,0 +1,242 @@
+"""The streaming operator network (Section 7(3)).
+
+The Vadalog system compiles the optimizer's plan into "a network of
+operator nodes" through which data streams; recursion and existential
+quantification are handled *inside* the network, with guide structures
+consulted at the nodes for termination control.
+
+:class:`OperatorNetwork` is that architecture in miniature:
+
+* one **rule node** per (TGD, pinned body position) — it receives the
+  delta stream of its pinned predicate, probes the remaining body atoms
+  in the optimizer's join order against the indexed instance, and emits
+  head tuples (inventing nulls for existential variables after asking
+  the guide);
+* a **router** dispatches every derived atom back to the rule nodes
+  whose pinned predicate matches — the feedback edge that realizes
+  recursion;
+* statistics count the intermediate bindings each join explores, the
+  observable the E7 join-ordering ablation measures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.atoms import Atom
+from ..core.instance import Database, Instance
+from ..core.program import Program
+from ..core.terms import Null, NullFactory, Term, Variable
+from ..core.tgd import TGD
+from .guides import LinearForestGuide, NoGuide
+from .optimizer import JoinOptimizer, JoinPlan
+
+__all__ = ["EngineResult", "OperatorNetwork"]
+
+
+@dataclass
+class EngineResult:
+    """Outcome of one network run."""
+
+    instance: Instance
+    saturated: bool
+    events: int                 # delta atoms routed through the network
+    derived: int                # new atoms produced
+    intermediate_bindings: int  # partial join bindings explored
+    guide_cuts: int
+
+
+class _RuleNode:
+    """One rule with one pinned body position, join order fixed by a plan."""
+
+    def __init__(self, rule_index: int, tgd: TGD, pin: int, plan: JoinPlan):
+        self.rule_index = rule_index
+        self.tgd = tgd
+        self.pin = pin
+        # Probe order: the plan's order with the pinned position removed.
+        self.probe_order = tuple(i for i in plan.order if i != pin)
+        self.head = tgd.head[0]
+        self.existentials = sorted(
+            tgd.existential_variables(), key=lambda v: v.name
+        )
+
+
+class OperatorNetwork:
+    """A push-based evaluation network for single-head TGD programs."""
+
+    def __init__(
+        self,
+        program: Program,
+        *,
+        optimizer: Optional[JoinOptimizer] = None,
+        guide: Optional[object] = None,
+        null_factory: Optional[NullFactory] = None,
+    ):
+        if not program.is_single_head():
+            program = program.single_head()
+        self.program = program
+        self.optimizer = optimizer or JoinOptimizer(program)
+        self.guide = guide if guide is not None else NoGuide()
+        self.null_factory = null_factory or NullFactory()
+
+        self._nodes_by_predicate: Dict[str, List[_RuleNode]] = {}
+        for rule_index, tgd in enumerate(program):
+            plan = self.optimizer.plan(tgd)
+            for pin in range(len(tgd.body)):
+                node = _RuleNode(rule_index, tgd, pin, plan)
+                self._nodes_by_predicate.setdefault(
+                    tgd.body[pin].predicate, []
+                ).append(node)
+
+    # -- join execution ----------------------------------------------------
+
+    def _probe(
+        self,
+        node: _RuleNode,
+        delta_atom: Atom,
+        instance: Instance,
+        counters: List[int],
+    ) -> List[Dict[Variable, Term]]:
+        """All body matches of the node using *delta_atom* at the pin."""
+        pinned = node.tgd.body[node.pin]
+        if (
+            pinned.predicate != delta_atom.predicate
+            or pinned.arity != delta_atom.arity
+        ):
+            return []
+        seed: Dict[Variable, Term] = {}
+        for p_term, d_term in zip(pinned.args, delta_atom.args):
+            if isinstance(p_term, Variable):
+                bound = seed.get(p_term)
+                if bound is not None and bound != d_term:
+                    return []
+                seed[p_term] = d_term
+            elif p_term != d_term:
+                return []
+
+        matches: List[Dict[Variable, Term]] = []
+
+        def join(step: int, assignment: Dict[Variable, Term]) -> None:
+            if step == len(node.probe_order):
+                matches.append(dict(assignment))
+                return
+            atom = node.tgd.body[node.probe_order[step]]
+            pattern = Atom(
+                atom.predicate,
+                tuple(
+                    assignment.get(t, t) if isinstance(t, Variable) else t
+                    for t in atom.args
+                ),
+            )
+            for stored in instance.matching(pattern):
+                counters[0] += 1  # intermediate binding explored
+                added: List[Variable] = []
+                ok = True
+                for p_term, s_term in zip(pattern.args, stored.args):
+                    if isinstance(p_term, Variable):
+                        seen = assignment.get(p_term)
+                        if seen is None:
+                            assignment[p_term] = s_term
+                            added.append(p_term)
+                        elif seen != s_term:
+                            ok = False
+                            break
+                if ok:
+                    join(step + 1, assignment)
+                for var in added:
+                    del assignment[var]
+
+        join(0, seed)
+        return matches
+
+    # -- run loop ------------------------------------------------------------
+
+    def run(
+        self,
+        database: Database,
+        *,
+        max_atoms: Optional[int] = None,
+        max_events: Optional[int] = None,
+    ) -> EngineResult:
+        """Stream the database through the network to (bounded) fixpoint."""
+        instance = database.to_instance()
+        queue: Deque[Atom] = deque(instance)
+        events = 0
+        derived = 0
+        counters = [0]
+        saturated = True
+
+        while queue:
+            if max_events is not None and events >= max_events:
+                saturated = False
+                break
+            if max_atoms is not None and len(instance) >= max_atoms:
+                saturated = False
+                break
+            delta_atom = queue.popleft()
+            events += 1
+            for node in self._nodes_by_predicate.get(delta_atom.predicate, ()):
+                for assignment in self._probe(node, delta_atom, instance, counters):
+                    body_image = [
+                        Atom(
+                            a.predicate,
+                            tuple(
+                                assignment.get(t, t)
+                                if isinstance(t, Variable)
+                                else t
+                                for t in a.args
+                            ),
+                        )
+                        for a in node.tgd.body
+                    ]
+                    if node.existentials:
+                        if not self.guide.allows(node.rule_index, body_image):
+                            continue
+                        invented = {
+                            var: self.null_factory.fresh(
+                                depth=1
+                                + max(
+                                    (
+                                        t.depth
+                                        for atom in body_image
+                                        for t in atom.args
+                                        if isinstance(t, Null)
+                                    ),
+                                    default=0,
+                                )
+                            )
+                            for var in node.existentials
+                        }
+                        full_assignment = {**assignment, **invented}
+                        self.guide.register(
+                            node.rule_index,
+                            body_image,
+                            list(invented.values()),
+                        )
+                    else:
+                        full_assignment = assignment
+                    head_atom = Atom(
+                        node.head.predicate,
+                        tuple(
+                            full_assignment.get(t, t)
+                            if isinstance(t, Variable)
+                            else t
+                            for t in node.head.args
+                        ),
+                    )
+                    if head_atom not in instance:
+                        instance.add(head_atom)
+                        queue.append(head_atom)
+                        derived += 1
+
+        guide_cuts = getattr(self.guide, "cuts", 0)
+        return EngineResult(
+            instance=instance,
+            saturated=saturated and not queue,
+            events=events,
+            derived=derived,
+            intermediate_bindings=counters[0],
+            guide_cuts=guide_cuts,
+        )

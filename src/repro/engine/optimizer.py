@@ -1,0 +1,95 @@
+"""Join ordering with the piece-wise linearity bias (Section 7(2)).
+
+The Vadalog optimizer "detects and uses piece-wise linearity for the
+purpose of join ordering": a TGD of a PWL program has at most one body
+atom mutually recursive with the head, and join algorithms are optimized
+towards having that recursive predicate as the first (or last) operand.
+
+:class:`JoinOptimizer` produces a static join order per TGD:
+
+* with ``pwl_bias`` the recursive atom is pinned to the front (it is
+  the delta-driven operand in a streaming engine), and the remaining
+  atoms are ordered greedily by connectivity — each next atom shares as
+  many variables as possible with the atoms already placed (maximally
+  bound ⇒ most selective);
+* without it, the body order is taken as written (the naive baseline
+  the E7 ablation compares against).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set
+
+from ..analysis.piecewise import recursive_body_atoms
+from ..analysis.predicate_graph import PredicateGraph
+from ..core.atoms import Atom
+from ..core.program import Program
+from ..core.terms import Variable
+from ..core.tgd import TGD
+
+__all__ = ["JoinPlan", "JoinOptimizer"]
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """A static join order: body indices in execution order."""
+
+    tgd: TGD
+    order: tuple[int, ...]
+
+    def ordered_body(self) -> tuple[Atom, ...]:
+        return tuple(self.tgd.body[i] for i in self.order)
+
+
+class JoinOptimizer:
+    """Per-TGD join planning over a fixed program."""
+
+    def __init__(self, program: Program, *, pwl_bias: bool = True):
+        self.program = program
+        self.pwl_bias = pwl_bias
+        self._graph = PredicateGraph(program)
+
+    def plan(self, tgd: TGD) -> JoinPlan:
+        """Compute the join order for one TGD of the program."""
+        indices = list(range(len(tgd.body)))
+        if not self.pwl_bias or len(indices) == 1:
+            return JoinPlan(tgd, tuple(indices))
+
+        recursive = recursive_body_atoms(tgd, self._graph)
+        recursive_ids = {id(a) for a in recursive}
+        first: Optional[int] = None
+        for i, atom in enumerate(tgd.body):
+            if id(atom) in recursive_ids:
+                first = i
+                break
+
+        placed: List[int] = []
+        bound: Set[Variable] = set()
+        remaining = list(indices)
+        if first is not None:
+            placed.append(first)
+            bound |= tgd.body[first].variables()
+            remaining.remove(first)
+
+        while remaining:
+            # Greedy connectivity: maximize shared (already bound)
+            # variables, break ties toward smaller unbound surface.
+            def score(i: int) -> tuple:
+                atom_vars = tgd.body[i].variables()
+                return (
+                    len(atom_vars & bound),
+                    -len(atom_vars - bound),
+                    -i,
+                )
+
+            best = max(remaining, key=score)
+            placed.append(best)
+            bound |= tgd.body[best].variables()
+            remaining.remove(best)
+
+        return JoinPlan(tgd, tuple(placed))
+
+    def plans(self) -> dict[TGD, JoinPlan]:
+        """Plans for every TGD of the program."""
+        return {tgd: self.plan(tgd) for tgd in self.program}

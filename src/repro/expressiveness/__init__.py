@@ -1,0 +1,25 @@
+"""Expressive power: proof-tree-to-Datalog rewritings and separations."""
+
+from .separation import (
+    SeparationWitness,
+    refutes_full_program,
+    separation_witness,
+)
+from .translation import (
+    RewritingResult,
+    proof_tree_rewriting,
+    pwl_to_datalog,
+    set_partitions,
+    ward_to_datalog,
+)
+
+__all__ = [
+    "proof_tree_rewriting",
+    "pwl_to_datalog",
+    "ward_to_datalog",
+    "RewritingResult",
+    "set_partitions",
+    "separation_witness",
+    "SeparationWitness",
+    "refutes_full_program",
+]

@@ -1,0 +1,79 @@
+"""Program expressive power and the separation witness (Section 6.2).
+
+The *program expressive power* of a set Σ decouples the TGDs from the
+CQ: ``ep(Σ)`` collects the triples (D, q, c̄) with c̄ ∈ cert(q, D, Σ).
+Theorem 6.6 shows (WARD ∩ PWL, CQ) is *strictly* more expressive than
+piece-wise linear Datalog in this sense, exposing the power of value
+invention.  The proof of Lemma 6.7 uses the witness
+
+    Σ  = { P(x) → ∃y R(x, y) }      D = { P(c) }
+    q1 = Q ← R(x, y)                 q2 = Q ← R(x, y), P(y)
+
+Q1(D) ≠ ∅ but Q2(D) = ∅; any *full* (Datalog) program Σ' that agrees
+with Σ on q1 must derive a ground fact R(c, t) for a constant t of D —
+with dom(D) = {c} necessarily t = c — and then R(c, c), P(c) makes
+Q'2(D) ≠ ∅, a contradiction.  :func:`refutes_full_program` runs exactly
+this argument against any candidate Datalog program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..core.atoms import Atom
+from ..core.instance import Database
+from ..core.program import Program
+from ..core.query import ConjunctiveQuery
+from ..core.terms import Constant, Variable
+from ..core.tgd import TGD
+from ..datalog.seminaive import datalog_answers
+
+__all__ = ["SeparationWitness", "separation_witness", "refutes_full_program"]
+
+
+@dataclass(frozen=True)
+class SeparationWitness:
+    """The Lemma 6.7 witness: program, database, and the two probe CQs."""
+
+    program: Program
+    database: Database
+    q1: ConjunctiveQuery
+    q2: ConjunctiveQuery
+
+
+def separation_witness() -> SeparationWitness:
+    """Construct the Lemma 6.7 witness objects."""
+    x, y = Variable("x"), Variable("y")
+    c = Constant("c")
+    program = Program(
+        [TGD((Atom("P", (x,)),), (Atom("R", (x, y)),), label="invent")],
+        name="separation",
+    )
+    database = Database([Atom("P", (c,))])
+    q1 = ConjunctiveQuery((), (Atom("R", (x, y)),), head_predicate="Q")
+    q2 = ConjunctiveQuery(
+        (), (Atom("R", (x, y)), Atom("P", (y,))), head_predicate="Q"
+    )
+    return SeparationWitness(program, database, q1, q2)
+
+
+def refutes_full_program(candidate: Program) -> bool:
+    """Does the Lemma 6.7 argument refute *candidate* as an equivalent?
+
+    A full (Datalog) program Σ' would need Q'1(D) ≠ ∅ and Q'2(D) = ∅ on
+    the witness database to match Σ's program expressive power.  The
+    lemma shows that is impossible; this function checks that the
+    impossibility indeed materializes for the given candidate: it
+    returns True iff the candidate *fails* to reproduce both answers —
+    i.e., the candidate is refuted.
+    """
+    if not candidate.is_full() or not candidate.is_single_head():
+        raise ValueError("the separation argument applies to full single-head "
+                         "(Datalog) candidates")
+    witness = separation_witness()
+    answers_q1 = datalog_answers(witness.q1, witness.database, candidate)
+    answers_q2 = datalog_answers(witness.q2, witness.database, candidate)
+    agrees_q1 = bool(answers_q1)      # Σ: Q1(D) ≠ ∅
+    agrees_q2 = not answers_q2        # Σ: Q2(D) = ∅
+    return not (agrees_q1 and agrees_q2)

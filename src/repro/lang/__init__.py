@@ -1,0 +1,15 @@
+"""Vadalog-style surface syntax: lexer and parser."""
+
+from .lexer import LexerError, Token, TokenType, tokenize
+from .parser import ParserError, parse_atom, parse_program, parse_query
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "TokenType",
+    "LexerError",
+    "parse_program",
+    "parse_query",
+    "parse_atom",
+    "ParserError",
+]

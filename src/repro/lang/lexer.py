@@ -1,0 +1,147 @@
+"""Tokenizer for the Vadalog-style surface syntax.
+
+The token stream feeds :mod:`repro.lang.parser`.  Lexical rules:
+
+* identifiers starting with a lowercase letter are constant/predicate
+  symbols (``edge``, ``subClass``),
+* identifiers starting with an uppercase letter or ``_`` are variables;
+  a bare ``_`` is a "don't-care" variable (fresh at every occurrence),
+* integers and double-quoted strings are constants,
+* ``:-`` (or ``<-``) separates head and body; ``,`` joins atoms;
+  statements end with ``.``,
+* ``%`` and ``#`` start a comment running to the end of the line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+__all__ = ["Token", "TokenType", "tokenize", "LexerError"]
+
+
+class LexerError(ValueError):
+    """Raised on input the tokenizer cannot make sense of."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"line {line}, column {column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class TokenType:
+    """Token kinds (plain string constants; no enum ceremony needed)."""
+
+    NAME = "NAME"          # lowercase-initial identifier
+    VARIABLE = "VARIABLE"  # uppercase/underscore-initial identifier
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    LPAREN = "LPAREN"
+    RPAREN = "RPAREN"
+    COMMA = "COMMA"
+    PERIOD = "PERIOD"
+    IMPLIES = "IMPLIES"    # :- or <-
+    EOF = "EOF"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single token with its source location (1-based)."""
+
+    type: str
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.type}, {self.value!r}, {self.line}:{self.column})"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize *text*; raises :class:`LexerError` on illegal characters."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(text)
+
+    def advance(k: int = 1) -> None:
+        nonlocal i, line, column
+        for _ in range(k):
+            if i < n and text[i] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            i += 1
+
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            advance()
+            continue
+        if ch in "%#":
+            while i < n and text[i] != "\n":
+                advance()
+            continue
+        if ch == "(":
+            tokens.append(Token(TokenType.LPAREN, "(", line, column))
+            advance()
+            continue
+        if ch == ")":
+            tokens.append(Token(TokenType.RPAREN, ")", line, column))
+            advance()
+            continue
+        if ch == ",":
+            tokens.append(Token(TokenType.COMMA, ",", line, column))
+            advance()
+            continue
+        if ch == ".":
+            tokens.append(Token(TokenType.PERIOD, ".", line, column))
+            advance()
+            continue
+        if text.startswith(":-", i) or text.startswith("<-", i):
+            tokens.append(Token(TokenType.IMPLIES, text[i:i + 2], line, column))
+            advance(2)
+            continue
+        if ch == '"':
+            start_line, start_col = line, column
+            advance()
+            chars: list[str] = []
+            while i < n and text[i] != '"':
+                if text[i] == "\\" and i + 1 < n:
+                    advance()
+                    chars.append(text[i])
+                else:
+                    chars.append(text[i])
+                advance()
+            if i >= n:
+                raise LexerError("unterminated string literal", start_line, start_col)
+            advance()  # closing quote
+            tokens.append(Token(TokenType.STRING, "".join(chars), start_line, start_col))
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and text[i + 1].isdigit()):
+            start_line, start_col = line, column
+            start = i
+            advance()
+            while i < n and text[i].isdigit():
+                advance()
+            tokens.append(
+                Token(TokenType.NUMBER, text[start:i], start_line, start_col)
+            )
+            continue
+        if ch.isalpha() or ch == "_":
+            start_line, start_col = line, column
+            start = i
+            while i < n and (text[i].isalnum() or text[i] in "_'"):
+                advance()
+            word = text[start:i]
+            if word[0].isupper() or word[0] == "_":
+                tokens.append(Token(TokenType.VARIABLE, word, start_line, start_col))
+            else:
+                tokens.append(Token(TokenType.NAME, word, start_line, start_col))
+            continue
+        raise LexerError(f"unexpected character {ch!r}", line, column)
+
+    tokens.append(Token(TokenType.EOF, "", line, column))
+    return tokens

@@ -1,0 +1,202 @@
+"""Parser for the Vadalog-style surface syntax.
+
+The grammar (statements end with ``.``):
+
+* **fact** — a ground atom: ``edge(a, b).`` → goes to the database,
+* **rule** — ``head1, ..., headm :- body1, ..., bodyk.`` → a TGD; every
+  variable occurring in the head but not in the body is read as
+  existentially quantified, matching Datalog∃ conventions,
+* **query** — parsed by :func:`parse_query` from the same rule shape
+  ``q(X, Y) :- body.``; the head arguments (which must be body
+  variables) become the output tuple x̄.
+
+``parse_program`` returns the pair (Program, Database); facts and rules
+may be interleaved freely.  ``_`` is a don't-care variable: each
+occurrence becomes a distinct fresh variable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.atoms import Atom
+from ..core.instance import Database
+from ..core.program import Program
+from ..core.query import ConjunctiveQuery
+from ..core.terms import Constant, Term, Variable
+from ..core.tgd import TGD
+from .lexer import Token, TokenType, tokenize
+
+__all__ = ["parse_program", "parse_query", "parse_atom", "ParserError"]
+
+
+class ParserError(ValueError):
+    """Raised when the token stream does not match the grammar."""
+
+    def __init__(self, message: str, token: Token):
+        super().__init__(
+            f"line {token.line}, column {token.column}: {message} "
+            f"(at {token.value!r})"
+        )
+        self.token = token
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, text: str):
+        self._tokens = tokenize(text)
+        self._pos = 0
+        self._dontcare = itertools.count()
+
+    # -- token plumbing -------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _next(self) -> Token:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _expect(self, token_type: str) -> Token:
+        token = self._peek()
+        if token.type != token_type:
+            raise ParserError(f"expected {token_type}", token)
+        return self._next()
+
+    def at_end(self) -> bool:
+        return self._peek().type == TokenType.EOF
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse_term(self) -> Term:
+        token = self._peek()
+        if token.type == TokenType.VARIABLE:
+            self._next()
+            if token.value == "_":
+                return Variable(f"_dc{next(self._dontcare)}")
+            return Variable(token.value)
+        if token.type == TokenType.NAME:
+            self._next()
+            return Constant(token.value)
+        if token.type == TokenType.NUMBER:
+            self._next()
+            return Constant(int(token.value))
+        if token.type == TokenType.STRING:
+            self._next()
+            return Constant(token.value)
+        raise ParserError("expected a term", token)
+
+    def parse_atom(self) -> Atom:
+        name_token = self._peek()
+        if name_token.type not in (TokenType.NAME, TokenType.VARIABLE):
+            raise ParserError("expected a predicate name", name_token)
+        # Predicate names may be capitalized (the paper writes SubClass,
+        # Type, ...); a NAME or VARIABLE token followed by '(' is a
+        # predicate application.
+        self._next()
+        self._expect(TokenType.LPAREN)
+        args: list[Term] = []
+        if self._peek().type != TokenType.RPAREN:
+            args.append(self.parse_term())
+            while self._peek().type == TokenType.COMMA:
+                self._next()
+                args.append(self.parse_term())
+        self._expect(TokenType.RPAREN)
+        return Atom(name_token.value, tuple(args))
+
+    def parse_atom_list(self) -> list[Atom]:
+        atoms = [self.parse_atom()]
+        while self._peek().type == TokenType.COMMA:
+            self._next()
+            atoms.append(self.parse_atom())
+        return atoms
+
+    def parse_statement(self) -> Tuple[str, object]:
+        """Parse one statement: ('fact', Atom) or ('rule', TGD)."""
+        first_atoms = self.parse_atom_list()
+        token = self._peek()
+        if token.type == TokenType.PERIOD:
+            self._next()
+            if len(first_atoms) != 1:
+                raise ParserError(
+                    "a fact statement must contain exactly one atom", token
+                )
+            return ("fact", first_atoms[0])
+        if token.type == TokenType.IMPLIES:
+            self._next()
+            body = self.parse_atom_list()
+            self._expect(TokenType.PERIOD)
+            return ("rule", TGD(tuple(body), tuple(first_atoms)))
+        raise ParserError("expected '.' or ':-'", token)
+
+
+def parse_program(text: str, name: str = "") -> Tuple[Program, Database]:
+    """Parse a program text into a (Program, Database) pair.
+
+    Ground atoms become database facts; rules become TGDs.  Rules whose
+    "body" is ground but whose head mentions variables are rejected by
+    TGD validation downstream, not here.
+    """
+    parser = _Parser(text)
+    tgds: List[TGD] = []
+    database = Database()
+    while not parser.at_end():
+        kind, payload = parser.parse_statement()
+        if kind == "fact":
+            atom = payload
+            assert isinstance(atom, Atom)
+            if not atom.is_fact():
+                raise ValueError(
+                    f"fact statement {atom} contains variables; "
+                    "did you mean a rule?"
+                )
+            database.add(atom)
+        else:
+            tgd = payload
+            assert isinstance(tgd, TGD)
+            tgds.append(tgd)
+    return Program(tgds, name=name), database
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse a single CQ in rule form: ``q(X, Y) :- r(X, Z), s(Z, Y).``
+
+    The head predicate name is kept for printing; head arguments must be
+    variables occurring in the body (the paper's output variables x̄).
+    """
+    parser = _Parser(text)
+    kind, payload = parser.parse_statement()
+    if not parser.at_end():
+        raise ValueError("parse_query expects exactly one rule")
+    if kind != "rule":
+        raise ValueError("a query must have the rule form 'q(...) :- body.'")
+    tgd = payload
+    assert isinstance(tgd, TGD)
+    if len(tgd.head) != 1:
+        raise ValueError("a query head must be a single atom")
+    head = tgd.head[0]
+    output: list[Variable] = []
+    for term in head.args:
+        if not isinstance(term, Variable):
+            raise ValueError(
+                f"query output positions must be variables, got {term}"
+            )
+        output.append(term)
+    return ConjunctiveQuery(
+        tuple(output), tgd.body, head_predicate=head.predicate
+    )
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom, e.g. ``edge(a, B)``."""
+    parser = _Parser(text)
+    atom = parser.parse_atom()
+    if parser._peek().type == TokenType.PERIOD:
+        parser._next()
+    if not parser.at_end():
+        raise ValueError("trailing input after atom")
+    return atom

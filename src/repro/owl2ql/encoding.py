@@ -1,0 +1,105 @@
+"""Compiling OWL 2 QL ontologies into warded piece-wise linear TGDs.
+
+The encoding completes the paper's Example 3.3: the six published rules
+cover subclass closure, type transfer, value-inventing restrictions and
+inverses; the remaining QL axiom shapes (subproperty closure, domain,
+range) extend the same ``type``/``triple`` vocabulary without leaving
+WARD ∩ PWL — ``type`` and ``triple`` form the single mutually recursive
+component, and every rule touches it through exactly one body atom
+while the axiom-storage atoms act as wards.
+
+Storage vocabulary (database predicates):
+
+=================  =========================
+``subClass(C,D)``  C ⊑ D
+``subProp(P,Q)``   P ⊑ Q
+``inv(P,Q)``       P ≡ Q⁻ (stored both ways)
+``dom(P,C)``       ∃P ⊑ C
+``rng(P,C)``       ∃P⁻ ⊑ C
+``restr(C,P)``     C ⊑ ∃P
+=================  =========================
+
+Derived vocabulary: ``type(x, C)`` and ``triple(x, P, y)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Set, Tuple
+
+from ..core.atoms import Atom
+from ..core.instance import Database
+from ..core.program import Program
+from ..core.terms import Constant
+from ..lang.parser import parse_program
+from .ontology import Ontology
+
+__all__ = ["EncodedOntology", "encode", "entailment_rules"]
+
+_RULES = """
+    % transitive-reflexive machinery for the taxonomy
+    subClassStar(X, Y) :- subClass(X, Y).
+    subClassStar(X, Z) :- subClassStar(X, Y), subClass(Y, Z).
+    subPropStar(P, Q)  :- subProp(P, Q).
+    subPropStar(P, R)  :- subPropStar(P, Q), subProp(Q, R).
+
+    % entailment over instances (Example 3.3, completed)
+    type(X, D)         :- type(X, C), subClassStar(C, D).
+    triple(X, Q, Y)    :- triple(X, P, Y), subPropStar(P, Q).
+    triple(Y, Q, X)    :- triple(X, P, Y), inv(P, Q).
+    type(X, C)         :- triple(X, P, Y), dom(P, C).
+    type(Y, C)         :- triple(X, P, Y), rng(P, C).
+    triple(X, P, W)    :- type(X, C), restr(C, P).
+"""
+
+
+@dataclass
+class EncodedOntology:
+    """The (Σ, D) compilation of an ontology."""
+
+    program: Program
+    database: Database
+    ontology: Ontology
+
+    def vocabulary(self) -> Set[str]:
+        return {"type", "triple"}
+
+
+def entailment_rules() -> Program:
+    """The fixed entailment TGD set (independent of the ontology)."""
+    program, leftover = parse_program(_RULES, name="owl2ql-entailment")
+    assert len(leftover) == 0
+    return program
+
+
+def encode(ontology: Ontology) -> EncodedOntology:
+    """Compile *ontology* into the fixed rules plus a storage database."""
+    database = Database()
+
+    def add(predicate: str, *values: str) -> None:
+        database.add(Atom(predicate, tuple(Constant(v) for v in values)))
+
+    for sub, sup in ontology.subclasses:
+        add("subClass", sub, sup)
+    for sub, sup in ontology.subproperties:
+        add("subProp", sub, sup)
+    for prop, inverse_prop in ontology.inverses:
+        # P ≡ Q⁻ works in both directions.
+        add("inv", prop, inverse_prop)
+        add("inv", inverse_prop, prop)
+    for prop, cls in ontology.domains:
+        add("dom", prop, cls)
+    for prop, cls in ontology.ranges:
+        add("rng", prop, cls)
+    for cls, prop in ontology.some_values_axioms:
+        add("restr", cls, prop)
+    for individual, cls in ontology.class_assertions:
+        add("type", individual, cls)
+    for subject, prop, obj in ontology.property_assertions:
+        add("triple", subject, prop, obj)
+
+    return EncodedOntology(
+        program=entailment_rules(),
+        database=database,
+        ontology=ontology,
+    )

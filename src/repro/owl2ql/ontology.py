@@ -1,0 +1,131 @@
+"""OWL 2 QL ontologies: TBox axioms and ABox assertions.
+
+The supported axiom shapes are the QL profile's workhorses (the ones a
+``type``/``triple`` encoding over TGDs captures natively):
+
+==========================  ===========================================
+axiom                       meaning
+==========================  ===========================================
+``subclass(C, D)``          C ⊑ D
+``subproperty(P, Q)``       P ⊑ Q
+``inverse(P, Q)``           P ≡ Q⁻
+``domain(P, C)``            ∃P ⊑ C        (subjects of P are C)
+``range(P, C)``             ∃P⁻ ⊑ C       (objects of P are C)
+``some_values(C, P)``       C ⊑ ∃P        (every C has a P-successor —
+                            value invention in the encoding)
+==========================  ===========================================
+
+ABox assertions are ``member(a, C)`` (class membership) and
+``related(a, P, b)`` (property atoms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set, Tuple
+
+__all__ = ["Ontology"]
+
+
+@dataclass
+class Ontology:
+    """A mutable OWL 2 QL ontology (TBox + ABox) with a fluent API."""
+
+    name: str = ""
+    subclasses: List[Tuple[str, str]] = field(default_factory=list)
+    subproperties: List[Tuple[str, str]] = field(default_factory=list)
+    inverses: List[Tuple[str, str]] = field(default_factory=list)
+    domains: List[Tuple[str, str]] = field(default_factory=list)
+    ranges: List[Tuple[str, str]] = field(default_factory=list)
+    some_values_axioms: List[Tuple[str, str]] = field(default_factory=list)
+    class_assertions: List[Tuple[str, str]] = field(default_factory=list)
+    property_assertions: List[Tuple[str, str, str]] = field(
+        default_factory=list
+    )
+
+    # -- TBox ------------------------------------------------------------
+
+    def subclass(self, sub: str, sup: str) -> "Ontology":
+        """C ⊑ D."""
+        self.subclasses.append((sub, sup))
+        return self
+
+    def subproperty(self, sub: str, sup: str) -> "Ontology":
+        """P ⊑ Q."""
+        self.subproperties.append((sub, sup))
+        return self
+
+    def inverse(self, prop: str, inverse_prop: str) -> "Ontology":
+        """P ≡ Q⁻ (recorded in both directions)."""
+        self.inverses.append((prop, inverse_prop))
+        return self
+
+    def domain(self, prop: str, cls: str) -> "Ontology":
+        """∃P ⊑ C."""
+        self.domains.append((prop, cls))
+        return self
+
+    def range(self, prop: str, cls: str) -> "Ontology":
+        """∃P⁻ ⊑ C."""
+        self.ranges.append((prop, cls))
+        return self
+
+    def some_values(self, cls: str, prop: str) -> "Ontology":
+        """C ⊑ ∃P — the value-inventing axiom (Example 3.3's
+        ``Restriction``)."""
+        self.some_values_axioms.append((cls, prop))
+        return self
+
+    # -- ABox ---------------------------------------------------------------
+
+    def member(self, individual: str, cls: str) -> "Ontology":
+        """Class assertion C(a)."""
+        self.class_assertions.append((individual, cls))
+        return self
+
+    def related(
+        self, subject: str, prop: str, obj: str
+    ) -> "Ontology":
+        """Property assertion P(a, b)."""
+        self.property_assertions.append((subject, prop, obj))
+        return self
+
+    # -- vocabulary -------------------------------------------------------------
+
+    def classes(self) -> Set[str]:
+        names: Set[str] = set()
+        for sub, sup in self.subclasses:
+            names.update((sub, sup))
+        names.update(cls for _, cls in self.domains)
+        names.update(cls for _, cls in self.ranges)
+        names.update(cls for cls, _ in self.some_values_axioms)
+        names.update(cls for _, cls in self.class_assertions)
+        return names
+
+    def properties(self) -> Set[str]:
+        names: Set[str] = set()
+        for sub, sup in self.subproperties:
+            names.update((sub, sup))
+        for p, q in self.inverses:
+            names.update((p, q))
+        names.update(p for p, _ in self.domains)
+        names.update(p for p, _ in self.ranges)
+        names.update(p for _, p in self.some_values_axioms)
+        names.update(p for _, p, _ in self.property_assertions)
+        return names
+
+    def individuals(self) -> Set[str]:
+        names = {a for a, _ in self.class_assertions}
+        for subject, _, obj in self.property_assertions:
+            names.update((subject, obj))
+        return names
+
+    def axiom_count(self) -> int:
+        return (
+            len(self.subclasses)
+            + len(self.subproperties)
+            + len(self.inverses)
+            + len(self.domains)
+            + len(self.ranges)
+            + len(self.some_values_axioms)
+        )

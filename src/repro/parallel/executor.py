@@ -1,0 +1,132 @@
+"""Multi-worker certain-answer computation.
+
+``parallel_certain_answers`` mirrors the sequential facade
+(:func:`repro.reasoning.answers.certain_answers`) for the proof-tree
+engines, but decides the candidate tuples concurrently:
+
+* the chase probe and the star-abstraction oracle are computed once,
+  up front (they depend only on D and Σ);
+* every candidate tuple is an independent decision task — the
+  NLogSpace machine per tuple — dispatched to a thread pool;
+* the result set is the union of probe answers and accepted tuples,
+  so it equals the sequential result by construction, regardless of
+  scheduling.
+
+Python threads share one interpreter, so wall-clock scaling is
+GIL-bound; the *shape* observable (how evenly work distributes, what
+the workload's inherent parallelism is) is reported via the measured
+per-tuple costs — see :mod:`repro.parallel.workplan` and benchmark E11.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Set, Tuple
+
+from ..analysis.piecewise import is_piecewise_linear
+from ..analysis.wardedness import is_warded
+from ..core.instance import Database, Instance
+from ..core.program import Program
+from ..core.query import ConjunctiveQuery
+from ..core.terms import Constant
+from ..reasoning.abstraction import star_abstraction
+from ..reasoning.answers import _candidate_tuples, _probe_instance
+from ..reasoning.pwl_ward import decide_pwl_ward
+from ..reasoning.ward import decide_ward
+
+__all__ = ["ParallelReport", "parallel_certain_answers"]
+
+Answer = Tuple[Constant, ...]
+
+
+@dataclass
+class ParallelReport:
+    """Answers plus the per-tuple cost profile of the parallel run."""
+
+    answers: Set[Answer]
+    method: str
+    workers: int
+    probe_answers: int
+    decided_tuples: int
+    per_tuple_cost: Dict[Answer, int] = field(default_factory=dict)
+
+    @property
+    def total_work(self) -> int:
+        return sum(self.per_tuple_cost.values())
+
+    @property
+    def span(self) -> int:
+        """The most expensive single decision — the parallel floor."""
+        return max(self.per_tuple_cost.values(), default=0)
+
+
+def parallel_certain_answers(
+    query: ConjunctiveQuery,
+    database: Database,
+    program: Program,
+    *,
+    workers: int = 4,
+    method: str = "auto",
+    probe_depth: int = 3,
+    probe_atoms: int = 20000,
+    report: bool = False,
+    **engine_kwargs,
+):
+    """Compute cert(q, D, Σ) with per-tuple decisions on a thread pool.
+
+    Supports the proof-tree methods (``"pwl"``, ``"ward"``, or
+    ``"auto"`` dispatching between them); other program classes have no
+    per-tuple parallel structure and belong to the sequential facade.
+    """
+    if workers <= 0:
+        raise ValueError("workers must be positive")
+    if method == "auto":
+        if not is_warded(program):
+            raise ValueError(
+                "parallel_certain_answers needs a warded program"
+            )
+        method = "pwl" if is_piecewise_linear(program) else "ward"
+    if method not in ("pwl", "ward"):
+        raise ValueError(f"unknown parallel method {method!r}")
+
+    decide = decide_pwl_ward if method == "pwl" else decide_ward
+    abstraction = engine_kwargs.get("oracle")
+    if not isinstance(abstraction, Instance):
+        abstraction = star_abstraction(database, program.single_head())
+    if "oracle" not in engine_kwargs and engine_kwargs.get("use_oracle", True):
+        engine_kwargs["oracle"] = abstraction
+
+    probe = _probe_instance(database, program, probe_depth, probe_atoms)
+    probe_answers = query.evaluate(probe)
+    # Candidate pools come from the abstraction (complete); the probe
+    # only pre-settles positives — same split as the sequential facade.
+    candidates = sorted(_candidate_tuples(query, abstraction) - probe_answers,
+                        key=str)
+
+    per_tuple_cost: Dict[Answer, int] = {}
+    answers: Set[Answer] = set(probe_answers)
+
+    def decide_one(candidate: Answer) -> Tuple[Answer, bool, int]:
+        decision = decide(
+            query, candidate, database, program, **engine_kwargs
+        )
+        cost = decision.stats.visited
+        return candidate, decision.accepted, cost
+
+    if candidates:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            for candidate, accepted, cost in pool.map(decide_one, candidates):
+                per_tuple_cost[candidate] = cost
+                if accepted:
+                    answers.add(candidate)
+
+    result = ParallelReport(
+        answers=answers,
+        method=method,
+        workers=workers,
+        probe_answers=len(probe_answers),
+        decided_tuples=len(candidates),
+        per_tuple_cost=per_tuple_cost,
+    )
+    return result if report else result.answers

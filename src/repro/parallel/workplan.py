@@ -1,0 +1,101 @@
+"""Work/span accounting for reasoning workloads.
+
+The NC² membership argument is about *depth*: a parallel machine can
+decide reachability-like problems in polylogarithmic depth with
+polynomial work.  For the engineering claim ("multi-core speed-ups")
+the relevant observables are
+
+* **work** — total cost of all tasks,
+* **span** — the critical path: what no amount of parallelism removes,
+* **makespan(P)** — completion time under *P* workers, here computed
+  with the classic LPT (longest processing time first) greedy, which is
+  a 4/3-approximation of the optimum and is deterministic.
+
+Per-tuple certainty decisions are independent tasks (span = the single
+most expensive tuple); rounds of a semi-naive fixpoint are sequential
+but each round's rule applications parallelize (span = sum of
+per-round maxima).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "greedy_makespan",
+    "speedup_curve",
+    "SpeedupPoint",
+    "round_work_span",
+]
+
+
+def greedy_makespan(costs: Sequence[float], workers: int) -> float:
+    """LPT makespan of independent tasks on *workers* identical workers."""
+    if workers <= 0:
+        raise ValueError("workers must be positive")
+    if not costs:
+        return 0.0
+    loads = [0.0] * min(workers, len(costs))
+    heap: List[float] = list(loads)
+    heapq.heapify(heap)
+    for cost in sorted(costs, reverse=True):
+        lightest = heapq.heappop(heap)
+        heapq.heappush(heap, lightest + float(cost))
+    return max(heap)
+
+
+@dataclass(frozen=True)
+class SpeedupPoint:
+    """One row of a scaling curve."""
+
+    workers: int
+    makespan: float
+    speedup: float
+    efficiency: float
+
+
+def speedup_curve(
+    costs: Sequence[float], worker_counts: Iterable[int]
+) -> List[SpeedupPoint]:
+    """Makespan/speedup/efficiency for each worker count.
+
+    ``speedup(P) = makespan(1) / makespan(P)``; efficiency divides by
+    P.  The curve saturates at ``work / span`` — the parallelism the
+    workload inherently offers.
+    """
+    sequential = greedy_makespan(costs, 1)
+    points: List[SpeedupPoint] = []
+    for workers in worker_counts:
+        makespan = greedy_makespan(costs, workers)
+        speedup = sequential / makespan if makespan > 0 else 1.0
+        points.append(
+            SpeedupPoint(
+                workers=workers,
+                makespan=makespan,
+                speedup=speedup,
+                efficiency=speedup / workers,
+            )
+        )
+    return points
+
+
+def round_work_span(
+    per_round_costs: Sequence[Sequence[float]],
+) -> Tuple[float, float]:
+    """(work, span) of a round-synchronous computation.
+
+    Rounds run sequentially; tasks inside one round run in parallel.
+    This models parallel semi-naive evaluation: span = Σ_r max(costs_r)
+    — the fixpoint depth is the sequential bottleneck, which is exactly
+    why bounded-depth (NC-style) evaluation matters for PWL programs.
+    """
+    work = 0.0
+    span = 0.0
+    for costs in per_round_costs:
+        if not costs:
+            continue
+        work += float(sum(costs))
+        span += float(max(costs))
+    return work, span

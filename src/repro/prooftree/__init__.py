@@ -1,0 +1,41 @@
+"""Proof-tree machinery: chunk unifiers, resolution, decomposition,
+specialization, canonical renaming, and proof trees (Section 4.1)."""
+
+from .canonical import canonical_form, canonical_variable, is_canonical_variable
+from .chunk import ChunkUnifier, chunk_unifiers, shared_variables
+from .decomposition import (
+    connected_components,
+    decompose,
+    is_decomposition,
+    restrict_output,
+)
+from .resolution import Resolvent, ido_resolvents, resolvents, retarget_for_outputs
+from .specialization import (
+    enumerate_specializations,
+    is_specialization,
+    specialize,
+)
+from .tree import ProofNode, ProofTree, eq_partition_substitution
+
+__all__ = [
+    "canonical_form",
+    "canonical_variable",
+    "is_canonical_variable",
+    "ChunkUnifier",
+    "chunk_unifiers",
+    "shared_variables",
+    "connected_components",
+    "decompose",
+    "is_decomposition",
+    "restrict_output",
+    "Resolvent",
+    "resolvents",
+    "ido_resolvents",
+    "retarget_for_outputs",
+    "specialize",
+    "enumerate_specializations",
+    "is_specialization",
+    "ProofNode",
+    "ProofTree",
+    "eq_partition_substitution",
+]

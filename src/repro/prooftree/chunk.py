@@ -1,0 +1,150 @@
+"""Chunk unifiers and most general chunk unifiers (Definition 4.3).
+
+A *chunk unifier* of a CQ q with a (single-head) TGD σ — q and σ sharing
+no variables — is a triple (S1, S2, γ) with ∅ ⊂ S1 ⊆ atoms(q),
+∅ ⊂ S2 ⊆ head(σ), and γ a unifier for S1 and S2 such that for every
+existential variable x of σ occurring in S2:
+
+1. γ(x) is not a constant, and
+2. γ(x) = γ(y) implies y occurs in S1 and is not *shared* — where a
+   variable y of S1 is shared if it is an output variable of q or occurs
+   in ``atoms(q) \\ S1``.
+
+Intuitively S1 is a "chunk" of the query that is resolved as a whole:
+atoms that must all have been produced by the same application of σ in
+the chase, because they would share an invented null.  The conditions
+forbid unsound steps in which a shared variable silently loses its
+connection to the rest of the query (the paper's ``R(x,y), S(y)``
+example).
+
+This module works with TGDs in single-head normal form (``S2`` is then
+the full singleton head); multi-head TGDs should be normalized first via
+:meth:`repro.core.program.Program.single_head`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence, Set
+
+from ..core.atoms import Atom, atoms_variables
+from ..core.substitution import Substitution
+from ..core.terms import Constant, Term, Variable
+from ..core.tgd import TGD
+from ..core.unification import UnionFind
+
+__all__ = ["ChunkUnifier", "chunk_unifiers", "shared_variables"]
+
+
+@dataclass(frozen=True)
+class ChunkUnifier:
+    """A most general chunk unifier (S1, S2, γ) of a CQ with a TGD."""
+
+    s1: tuple[Atom, ...]
+    s2: tuple[Atom, ...]
+    gamma: Substitution
+
+
+def shared_variables(
+    query_atoms: Sequence[Atom],
+    subset: Sequence[Atom],
+    output_variables: Set[Variable],
+) -> set[Variable]:
+    """Variables of *subset* that are shared (Definition of Section 4.1).
+
+    A variable y ∈ var(S) is shared if y is an output variable or occurs
+    in ``atoms(q) \\ S``.
+    """
+    subset_list = list(subset)
+    rest: list[Atom] = []
+    pool = list(subset_list)
+    for atom in query_atoms:
+        if atom in pool:
+            pool.remove(atom)
+        else:
+            rest.append(atom)
+    rest_vars = atoms_variables(rest)
+    return {
+        v
+        for v in atoms_variables(subset_list)
+        if v in output_variables or v in rest_vars
+    }
+
+
+def _existential_conditions_hold(
+    uf: UnionFind,
+    existentials: Set[Variable],
+    s1_variables: Set[Variable],
+    shared: Set[Variable],
+) -> bool:
+    """Check conditions (1) and (2) of Definition 4.3 on the unifier."""
+    classes = uf.classes()
+    for z in existentials:
+        root = uf.find(z)
+        members = classes[root]
+        rigid = uf.rigid_of(z)
+        if rigid is not None:
+            return False  # γ(z) would be a constant (or null)
+        for member in members:
+            if member == z:
+                continue
+            if not isinstance(member, Variable):
+                return False
+            if member not in s1_variables:
+                return False  # unified with a head/frontier variable
+            if member in shared:
+                return False  # unified with a shared variable of q
+    return True
+
+
+def chunk_unifiers(
+    query_atoms: Sequence[Atom],
+    output_variables: Set[Variable],
+    tgd: TGD,
+    max_chunk: Optional[int] = None,
+) -> Iterator[ChunkUnifier]:
+    """Enumerate all MGCUs of the query with the (single-head) TGD.
+
+    The TGD must already be renamed apart from the query.  ``max_chunk``
+    optionally caps |S1| (completeness requires leaving it unbounded;
+    the reasoner exposes it for experiments).
+    """
+    if len(tgd.head) != 1:
+        raise ValueError(
+            "chunk_unifiers expects single-head TGDs; normalize with "
+            "Program.single_head() first"
+        )
+    head = tgd.head[0]
+    existentials = {
+        v for v in tgd.existential_variables() if v in head.variables()
+    }
+    candidates = [
+        atom
+        for atom in query_atoms
+        if atom.predicate == head.predicate and atom.arity == head.arity
+    ]
+    limit = len(candidates) if max_chunk is None else min(max_chunk, len(candidates))
+
+    for size in range(1, limit + 1):
+        for subset in itertools.combinations(candidates, size):
+            uf = UnionFind()
+            consistent = True
+            for atom in subset:
+                for q_term, h_term in zip(atom.args, head.args):
+                    if not uf.union(q_term, h_term):
+                        consistent = False
+                        break
+                if not consistent:
+                    break
+            if not consistent:
+                continue
+            shared = shared_variables(query_atoms, subset, output_variables)
+            s1_variables = atoms_variables(subset)
+            if not _existential_conditions_hold(
+                uf, existentials, s1_variables, shared
+            ):
+                continue
+            yield ChunkUnifier(
+                s1=tuple(subset), s2=(head,), gamma=uf.to_substitution()
+            )

@@ -1,0 +1,152 @@
+"""Query specialization (Definition 4.5).
+
+A specialization of a CQ q(x̄) with atoms α1, ..., αn is a CQ
+
+    Q(x̄, ȳ) ← ρ_z̄(α1, ..., αn)
+
+where ȳ and z̄ are disjoint tuples of non-output variables of q and ρ_z̄
+substitutes each variable of z̄ by a variable of x̄ ∪ ȳ.  In words: some
+non-output variables are *promoted* to output variables (keeping their
+names), and some others are *collapsed* onto (old or newly promoted)
+output variables.
+
+Specialization repairs the two incompletenesses the paper identifies:
+(i) two output variables may denote the same constant, and (ii) a
+non-output variable may denote a fixed constant — promoting it freezes
+its name so a decomposition may split its occurrences.
+
+In the concrete Section 4.3 algorithm, output variables are already
+instantiated by constants, so specialization degenerates to substituting
+non-output variables with constants of dom(D); that variant lives in
+:mod:`repro.reasoning`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence
+
+from ..core.query import ConjunctiveQuery
+from ..core.substitution import Substitution
+from ..core.terms import Term, Variable
+
+__all__ = ["specialize", "enumerate_specializations", "is_specialization"]
+
+
+def specialize(
+    query: ConjunctiveQuery,
+    promote: Sequence[Variable] = (),
+    collapse: Optional[Mapping[Variable, Variable]] = None,
+) -> ConjunctiveQuery:
+    """Build the specialization Q(x̄, ȳ) ← ρ_z̄(atoms(q)).
+
+    *promote* is ȳ (non-output variables that become outputs, appended
+    in the given order); *collapse* is ρ_z̄ (each key a non-output
+    variable not in ȳ, each value a variable of x̄ ∪ ȳ).
+    """
+    collapse = dict(collapse or {})
+    outputs = query.output_variables()
+    non_outputs = query.existential_variables()
+
+    promote_set = set(promote)
+    if len(promote) != len(promote_set):
+        raise ValueError("promoted variables must be distinct")
+    if not promote_set <= non_outputs:
+        raise ValueError("promoted variables must be non-output variables of q")
+    if promote_set & set(collapse):
+        raise ValueError("ȳ and z̄ must be disjoint")
+    for source, target in collapse.items():
+        if source not in non_outputs:
+            raise ValueError(f"{source} is not a non-output variable of q")
+        if target not in outputs and target not in promote_set:
+            raise ValueError(
+                f"collapse target {target} is not an output or promoted variable"
+            )
+    rho = Substitution({k: v for k, v in collapse.items()})
+    return ConjunctiveQuery(
+        tuple(query.output) + tuple(promote),
+        rho.apply_atoms(query.atoms),
+        head_predicate=query.head_predicate,
+    )
+
+
+def enumerate_specializations(
+    query: ConjunctiveQuery,
+) -> Iterator[ConjunctiveQuery]:
+    """All *single-step* specializations of *query*.
+
+    Arbitrary specializations compose from single steps, each of which
+    either promotes one non-output variable or collapses one non-output
+    variable onto an existing output.  Enumerating single steps keeps
+    the branching factor linear while preserving reachability of every
+    specialization, which is what the proof-search algorithms need.
+    """
+    outputs = query.output
+    for var in sorted(query.existential_variables(), key=lambda v: v.name):
+        yield specialize(query, promote=(var,))
+        for target in dict.fromkeys(outputs):
+            yield specialize(query, collapse={var: target})
+
+
+def is_specialization(
+    parent: ConjunctiveQuery, child: ConjunctiveQuery
+) -> bool:
+    """Check whether *child* is a specialization of *parent* (Def. 4.5).
+
+    The check reconstructs ȳ from the output tuples and then verifies
+    that some substitution of the remaining non-output variables of the
+    parent onto x̄ ∪ ȳ maps the parent's atoms onto the child's atoms.
+    The reconstruction is syntactic — variable names are preserved by
+    specialization, so no renaming search is needed.
+    """
+    k = len(parent.output)
+    if tuple(child.output[:k]) != tuple(parent.output):
+        return False
+    promoted = tuple(child.output[k:])
+    non_outputs = parent.existential_variables()
+    if not set(promoted) <= non_outputs:
+        return False
+
+    allowed_targets = set(parent.output) | set(promoted)
+    candidates = sorted(
+        non_outputs - set(promoted), key=lambda v: v.name
+    )
+
+    # The substitution ρ is determined per variable; reconstruct it by
+    # matching atoms positionally.  Because ρ only moves variables of z̄
+    # and fixes everything else, each parent atom must map to a child
+    # atom under a single consistent assignment.
+    assignment: Dict[Variable, Variable] = {}
+
+    def image(atom):
+        return atom.predicate, tuple(
+            assignment.get(t, t) if isinstance(t, Variable) else t
+            for t in atom.args
+        )
+
+    child_atoms = {(a.predicate, a.args) for a in child.atoms}
+
+    def backtrack(index: int) -> bool:
+        if index == len(parent.atoms):
+            return {image(a) for a in parent.atoms} == child_atoms
+        atom = parent.atoms[index]
+        free = [
+            t
+            for t in atom.args
+            if isinstance(t, Variable)
+            and t in candidates
+            and t not in assignment
+        ]
+        if not free:
+            return backtrack(index + 1)
+        # try identity first, then each allowed target, per free variable
+        var = free[0]
+        for target in [var, *sorted(allowed_targets, key=lambda v: v.name)]:
+            if target != var and target not in allowed_targets:
+                continue
+            assignment[var] = target
+            if backtrack(index):
+                return True
+            del assignment[var]
+        return False
+
+    return backtrack(0)

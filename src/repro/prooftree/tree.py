@@ -1,0 +1,218 @@
+"""Proof trees (Definition 4.6).
+
+A proof tree of a CQ q(x̄) w.r.t. a set Σ of TGDs is a triple (T, λ, π):
+a finite rooted tree T, a labeling λ of nodes by CQs, and a partition π
+of the output variables x̄, such that
+
+1. the root is labeled ``Q(eq_π(x̄)) ← eq_π(α1, ..., αm)``,
+2. a node with one child is labeled by a CQ whose child is an IDO
+   σ_v-resolvent (σ ∈ Σ) or a specialization of it,
+3. a node with k > 1 children is labeled by a CQ whose children's
+   labels form a decomposition of it.
+
+The CQ *induced* by the tree collects the atoms of all leaf labels under
+the head ``Q(eq_π(x̄))``.  Theorem 4.7: c̄ ∈ cert(q, D, Σ) iff some proof
+tree of q w.r.t. Σ induces a CQ with c̄ among its answers over D.
+
+Proof trees here record, on each edge, *which* operation produced the
+child; :meth:`ProofTree.validate` re-checks every recorded operation
+against the definitions, and the checkers in the sibling modules can
+also validate externally supplied trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Set
+
+from ..core.atoms import Atom
+from ..core.program import Program
+from ..core.query import ConjunctiveQuery
+from ..core.substitution import Substitution
+from ..core.terms import Variable
+from .canonical import canonical_form
+from .decomposition import is_decomposition
+from .resolution import ido_resolvents
+from .specialization import is_specialization
+
+__all__ = ["ProofNode", "ProofTree", "eq_partition_substitution"]
+
+
+def eq_partition_substitution(
+    partition: Sequence[Sequence[Variable]],
+) -> Substitution:
+    """``eq_π``: map the variables of each block to one representative.
+
+    The representative of a block is its first element (the paper's
+    "distinguished element of S_i").
+    """
+    mapping = {}
+    for block in partition:
+        if not block:
+            raise ValueError("partition blocks must be non-empty")
+        representative = block[0]
+        for var in block:
+            if var != representative:
+                mapping[var] = representative
+    return Substitution(mapping)
+
+
+@dataclass
+class ProofNode:
+    """A node of a proof tree: a CQ label, children, and the edge operation.
+
+    ``operation`` documents how the children were obtained from this
+    node: ``"resolution"``, ``"specialization"``, ``"decomposition"``,
+    or None for leaves.
+    """
+
+    label: ConjunctiveQuery
+    children: List["ProofNode"] = field(default_factory=list)
+    operation: Optional[str] = None
+
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def descendants(self) -> Iterator["ProofNode"]:
+        """This node and all nodes below it, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.descendants()
+
+
+class ProofTree:
+    """A proof tree (T, λ, π) of a CQ w.r.t. a program."""
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        partition: Sequence[Sequence[Variable]],
+        root: ProofNode,
+    ):
+        self.query = query
+        self.partition = [list(block) for block in partition]
+        self.root = root
+
+    # -- construction ----------------------------------------------------------
+
+    @staticmethod
+    def root_label(
+        query: ConjunctiveQuery, partition: Sequence[Sequence[Variable]]
+    ) -> ConjunctiveQuery:
+        """The label required of the root: ``Q(eq_π(x̄)) ← eq_π(atoms)``."""
+        eq = eq_partition_substitution(partition)
+        output = tuple(
+            eq.apply_term(v) for v in query.output
+        )
+        if not all(isinstance(v, Variable) for v in output):
+            raise ValueError("eq_π must map output variables to variables")
+        return ConjunctiveQuery(
+            output,  # type: ignore[arg-type]
+            eq.apply_atoms(query.atoms),
+            head_predicate=query.head_predicate,
+        )
+
+    @classmethod
+    def trivial(
+        cls,
+        query: ConjunctiveQuery,
+        partition: Optional[Sequence[Sequence[Variable]]] = None,
+    ) -> "ProofTree":
+        """The one-node proof tree (identity partition by default)."""
+        if partition is None:
+            partition = [[v] for v in dict.fromkeys(query.output)]
+        return cls(query, partition, ProofNode(cls.root_label(query, partition)))
+
+    # -- structure ---------------------------------------------------------
+
+    def nodes(self) -> Iterator[ProofNode]:
+        yield from self.root.descendants()
+
+    def leaves(self) -> List[ProofNode]:
+        return [n for n in self.nodes() if n.is_leaf()]
+
+    def node_width(self) -> int:
+        """``nwd(P)``: the largest label size over all nodes."""
+        return max(node.label.width() for node in self.nodes())
+
+    def is_linear(self) -> bool:
+        """Each node has at most one child that is not a leaf."""
+        for node in self.nodes():
+            non_leaf_children = sum(
+                1 for child in node.children if not child.is_leaf()
+            )
+            if non_leaf_children > 1:
+                return False
+        return True
+
+    def induced_cq(self) -> ConjunctiveQuery:
+        """The CQ induced by the tree: all leaf atoms under the root head."""
+        atoms: List[Atom] = []
+        for leaf in self.leaves():
+            atoms.extend(leaf.label.atoms)
+        unique = tuple(dict.fromkeys(atoms))
+        root_output = self.root.label.output
+        return ConjunctiveQuery(
+            root_output, unique, head_predicate=self.query.head_predicate
+        )
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self, program: Program) -> None:
+        """Re-check every condition of Definition 4.6; raise on violation."""
+        expected_root = self.root_label(self.query, self.partition)
+        if canonical_form(
+            self.root.label.atoms, self.root.label.output_variables()
+        ) != canonical_form(
+            expected_root.atoms, expected_root.output_variables()
+        ) or self.root.label.output != expected_root.output:
+            raise ValueError(
+                "root label is not Q(eq_π(x̄)) ← eq_π(atoms(q))"
+            )
+        single_head = program.single_head()
+        for node in self.nodes():
+            if not node.children:
+                continue
+            if len(node.children) == 1:
+                child = node.children[0]
+                if self._is_ido_resolvent(node.label, child.label, single_head):
+                    continue
+                if is_specialization(node.label, child.label):
+                    continue
+                raise ValueError(
+                    f"child of node labeled '{node.label}' is neither an IDO "
+                    f"resolvent nor a specialization: '{child.label}'"
+                )
+            labels = [child.label for child in node.children]
+            if not is_decomposition(node.label, labels):
+                raise ValueError(
+                    f"children of node labeled '{node.label}' do not form a "
+                    "decomposition"
+                )
+
+    @staticmethod
+    def _is_ido_resolvent(
+        parent: ConjunctiveQuery,
+        child: ConjunctiveQuery,
+        program: Program,
+    ) -> bool:
+        """Does some σ ∈ Σ have an IDO resolvent of *parent* equal to *child*
+        (up to renaming of non-output variables)?"""
+        target = canonical_form(child.atoms, child.output_variables())
+        if child.output != parent.output:
+            return False
+        for tgd in program:
+            for resolvent in ido_resolvents(parent, tgd):
+                form = canonical_form(
+                    resolvent.query.atoms, resolvent.query.output_variables()
+                )
+                if form == target:
+                    return True
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"ProofTree(width={self.node_width()}, "
+            f"nodes={sum(1 for _ in self.nodes())}, "
+            f"linear={self.is_linear()})"
+        )

@@ -1,0 +1,41 @@
+"""Reasoning algorithms: the space-bounded searches of Section 4.3 and
+the public certain-answer facade."""
+
+from .certificate import (
+    Certificate,
+    CertificateError,
+    certified_decision,
+    extract_certificate,
+    verify_certificate,
+)
+from .answers import (
+    AnswerReport,
+    UnsupportedProgramError,
+    certain_answers,
+    is_certain_answer,
+)
+from .pwl_ward import PWLDecision, decide_pwl_ward, linear_proof_search
+from .state import Frontier, SearchStats, State, SuccessorGenerator
+from .ward import WardDecision, and_or_search, decide_ward
+
+__all__ = [
+    "certain_answers",
+    "is_certain_answer",
+    "AnswerReport",
+    "UnsupportedProgramError",
+    "decide_pwl_ward",
+    "linear_proof_search",
+    "PWLDecision",
+    "decide_ward",
+    "and_or_search",
+    "WardDecision",
+    "State",
+    "SuccessorGenerator",
+    "Frontier",
+    "SearchStats",
+    "Certificate",
+    "CertificateError",
+    "certified_decision",
+    "extract_certificate",
+    "verify_certificate",
+]

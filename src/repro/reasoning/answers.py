@@ -1,0 +1,232 @@
+"""The public query-answering facade.
+
+``certain_answers(q, D, Σ)`` computes cert(q, D, Σ), dispatching on the
+class of Σ:
+
+* full single-head programs → semi-naive Datalog evaluation (exact),
+* WARD ∩ PWL → the linear proof-tree search of Theorem 4.8,
+* WARD → the AND-OR (alternating) search of Theorem 4.9,
+* anything else → the chase, accepted only if it saturates (CQ
+  answering under arbitrary TGDs — even PWL alone, Theorem 5.1 — is
+  undecidable, so no complete procedure exists to fall back to).
+
+For the proof-tree engines the answer *set* is assembled from per-tuple
+decisions.  Two auxiliary structures split the work:
+
+* the **star abstraction** (an always-terminating Datalog fixpoint that
+  over-approximates every chase) bounds the per-variable candidate
+  constants — any certain answer's homomorphism into the chase survives
+  the null-collapse into the abstraction with its constants intact, so
+  the pools drawn from the abstraction are *complete*;
+* a bounded **chase probe** (a sound under-approximation) settles the
+  cheap positives, so only the remainder needs a decision run.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..analysis.piecewise import is_piecewise_linear
+from ..analysis.wardedness import is_warded
+from ..chase.runner import chase
+from ..chase.termination import DepthPolicy
+from ..core.instance import Database, Instance
+from ..core.program import Program
+from ..core.query import ConjunctiveQuery
+from ..core.terms import Constant, Variable
+from ..datalog.seminaive import datalog_answers
+from .pwl_ward import decide_pwl_ward
+from .ward import decide_ward
+
+__all__ = [
+    "certain_answers",
+    "is_certain_answer",
+    "UnsupportedProgramError",
+    "AnswerReport",
+]
+
+
+class UnsupportedProgramError(ValueError):
+    """Raised when no sound-and-complete method applies to the program."""
+
+
+@dataclass
+class AnswerReport:
+    """Answers plus provenance of how they were obtained."""
+
+    answers: Set[Tuple[Constant, ...]]
+    method: str
+    probe_answers: int = 0       # answers settled by the chase probe alone
+    decided_tuples: int = 0      # candidate tuples sent to a decision engine
+
+
+def _probe_instance(
+    database: Database,
+    program: Program,
+    probe_depth: int,
+    probe_atoms: int,
+) -> Instance:
+    """A bounded chase used to seed candidates (sound under-approximation)."""
+    result = chase(
+        database,
+        program,
+        variant="restricted",
+        policy=DepthPolicy(probe_depth),
+        max_atoms=probe_atoms,
+    )
+    return result.instance
+
+
+def _candidate_tuples(
+    query: ConjunctiveQuery, abstraction: Instance
+) -> Set[Tuple[Constant, ...]]:
+    """All output tuples the star abstraction makes conceivable.
+
+    Each output variable can only take constants seen at its positions
+    in the abstract instance.  This pool is *complete*: a certain
+    answer c̄ has a homomorphism h from q into the chase with
+    h(output) = c̄, and composing h with the null-collapse γ (nulls ↦ ⋆,
+    constants fixed) lands in the abstraction with c̄ still at the same
+    positions.  The ⋆ constant itself is excluded — it stands for
+    nulls, which are never certain answers.
+    """
+    from .abstraction import STAR
+
+    per_variable: Dict[Variable, Set[Constant]] = {}
+    for var in dict.fromkeys(query.output):
+        candidates: Optional[Set[Constant]] = None
+        for atom in query.atoms:
+            for index, term in enumerate(atom.args):
+                if term != var:
+                    continue
+                seen = {
+                    stored.args[index]
+                    for stored in abstraction.with_predicate(atom.predicate)
+                    if isinstance(stored.args[index], Constant)
+                    and stored.args[index] != STAR
+                }
+                candidates = seen if candidates is None else candidates & seen
+        per_variable[var] = candidates or set()
+
+    unique_vars = list(dict.fromkeys(query.output))
+    pools = [sorted(per_variable[v], key=str) for v in unique_vars]
+    tuples: Set[Tuple[Constant, ...]] = set()
+    for combo in itertools.product(*pools):
+        assignment = dict(zip(unique_vars, combo))
+        tuples.add(tuple(assignment[v] for v in query.output))
+    return tuples
+
+
+def certain_answers(
+    query: ConjunctiveQuery,
+    database: Database,
+    program: Program,
+    *,
+    method: str = "auto",
+    probe_depth: int = 3,
+    probe_atoms: int = 20000,
+    report: bool = False,
+    **engine_kwargs,
+):
+    """Compute ``cert(q, D, Σ)``.
+
+    ``method``: ``"auto"`` (dispatch on the program class), ``"datalog"``,
+    ``"pwl"``, ``"ward"``, or ``"chase"``.  With ``report=True`` an
+    :class:`AnswerReport` is returned instead of the bare answer set.
+    Engine keyword arguments (``width_bound``, ``specialization``,
+    ``max_depth``, ...) are forwarded to the decision engines.
+    """
+    if method == "auto":
+        if program.is_full() and program.is_single_head():
+            method = "datalog"
+        elif is_warded(program):
+            method = "pwl" if is_piecewise_linear(program) else "ward"
+        else:
+            method = "chase"
+
+    if method == "datalog":
+        answers = datalog_answers(query, database, program)
+        result = AnswerReport(answers=answers, method="datalog")
+        return result if report else result.answers
+
+    if method == "chase":
+        chase_result = chase(
+            database,
+            program,
+            variant="restricted",
+            max_atoms=engine_kwargs.pop("max_atoms", 200000),
+            max_steps=engine_kwargs.pop("max_steps", 400000),
+        )
+        if not chase_result.saturated:
+            raise UnsupportedProgramError(
+                "the chase did not terminate within the limits and the "
+                "program is outside WARD; certain answers cannot be "
+                "computed exactly (cf. Theorem 5.1: CQAns(PWL) alone is "
+                "undecidable)"
+            )
+        answers = chase_result.evaluate(query)
+        result = AnswerReport(answers=answers, method="chase")
+        return result if report else result.answers
+
+    if method not in ("pwl", "ward"):
+        raise ValueError(f"unknown method {method!r}")
+
+    # Proof-tree engines: the star abstraction (computed once — it
+    # depends only on D and Σ) bounds the candidate tuples completely
+    # and doubles as the shared pruning oracle; the bounded probe then
+    # settles the cheap positives.
+    from .abstraction import star_abstraction
+
+    abstraction = engine_kwargs.get("oracle")
+    if not isinstance(abstraction, Instance):
+        abstraction = star_abstraction(database, program.single_head())
+    if "oracle" not in engine_kwargs and engine_kwargs.get("use_oracle", True):
+        engine_kwargs["oracle"] = abstraction
+    probe = _probe_instance(database, program, probe_depth, probe_atoms)
+    probe_answers = query.evaluate(probe)
+    candidates = _candidate_tuples(query, abstraction)
+    answers = set(probe_answers)
+    decided = 0
+    for candidate in sorted(candidates - probe_answers, key=str):
+        decided += 1
+        if is_certain_answer(
+            query, candidate, database, program, method=method, **engine_kwargs
+        ):
+            answers.add(candidate)
+    result = AnswerReport(
+        answers=answers,
+        method=method,
+        probe_answers=len(probe_answers),
+        decided_tuples=decided,
+    )
+    return result if report else result.answers
+
+
+def is_certain_answer(
+    query: ConjunctiveQuery,
+    answer: Sequence[Constant],
+    database: Database,
+    program: Program,
+    *,
+    method: str = "auto",
+    **engine_kwargs,
+) -> bool:
+    """Decide ``c̄ ∈ cert(q, D, Σ)`` (the paper's decision problem)."""
+    if method == "auto":
+        if is_warded(program):
+            method = "pwl" if is_piecewise_linear(program) else "ward"
+        else:
+            raise UnsupportedProgramError(
+                "no complete decision procedure outside WARD"
+            )
+    if method == "pwl":
+        return decide_pwl_ward(
+            query, answer, database, program, **engine_kwargs
+        ).accepted
+    if method == "ward":
+        return decide_ward(
+            query, answer, database, program, **engine_kwargs
+        ).accepted
+    raise ValueError(f"unknown method {method!r}")

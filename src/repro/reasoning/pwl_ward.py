@@ -1,0 +1,173 @@
+"""Query answering for WARD ∩ PWL: the Section 4.3 algorithm.
+
+By Theorem 4.8, ``c̄ ∈ cert(q, D, Σ)`` for a piece-wise linear warded Σ
+iff there is a *linear* proof tree of q w.r.t. Σ with node-width at most
+``f_WARD∩PWL(q, Σ)`` whose induced CQ answers c̄ over D.  The paper's
+non-deterministic algorithm walks such a tree level by level, holding a
+single CQ ``p`` and applying resolution / decomposition / specialization
+until ``atoms(p) ⊆ D``.
+
+The deterministic simulation is a breadth-first search over the finite
+graph of canonical configurations (:mod:`repro.reasoning.state`): the
+non-deterministic machine accepts iff the empty configuration is
+reachable, which is exactly the NLogSpace ⊆ reachability argument made
+executable.  The search reports space statistics (visited states,
+frontier peak, maximal CQ width) that the E2/E3 benchmarks use as the
+space-complexity observable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..analysis.levels import node_width_bound_pwl
+from ..analysis.piecewise import is_piecewise_linear
+from ..analysis.wardedness import is_warded
+from ..core.atoms import Atom
+from ..core.instance import Database
+from ..core.program import Program
+from ..core.query import ConjunctiveQuery
+from ..core.terms import Constant
+from .state import Frontier, SearchStats, State, SuccessorGenerator
+
+__all__ = ["PWLDecision", "decide_pwl_ward", "linear_proof_search"]
+
+
+@dataclass
+class PWLDecision:
+    """Outcome of one decision-problem run."""
+
+    accepted: bool
+    stats: SearchStats
+    width_bound: int
+    trace: Optional[List[State]] = None   # an accepting path, if requested
+
+
+def linear_proof_search(
+    initial_atoms: Sequence[Atom],
+    database: Database,
+    program: Program,
+    width_bound: int,
+    *,
+    specialization: str = "guided",
+    strategy: str = "bestfirst",
+    trace: bool = False,
+    max_states: Optional[int] = None,
+    oracle: Optional[object] = None,
+    use_oracle: bool = True,
+) -> PWLDecision:
+    """Search for an accepting configuration path (a linear proof tree).
+
+    *program* must be single-head.  ``strategy`` selects the frontier
+    order (:class:`repro.reasoning.state.Frontier`): narrowest-first by
+    default, or the paper-literal BFS.  ``max_states`` optionally caps
+    the explored state count (the search is then incomplete but still
+    sound); the benchmarks use the cap as a safety net only.  *oracle*
+    optionally injects a precomputed star abstraction (reused across
+    per-tuple decisions by :func:`repro.reasoning.answers.certain_answers`).
+    """
+    stats = SearchStats()
+    generator = SuccessorGenerator(
+        database,
+        program,
+        width_bound,
+        specialization=specialization,
+        stats=stats,
+        oracle=oracle,
+        use_oracle=use_oracle,
+    )
+    initial = State.make(tuple(initial_atoms), database)
+    stats.max_width = max(stats.max_width, initial.width())
+    if initial.width() > width_bound:
+        return PWLDecision(False, stats, width_bound, None)
+    if not initial.is_accepting() and generator.is_dead(initial):
+        return PWLDecision(False, stats, width_bound, None)
+
+    parents: Dict[State, Optional[State]] = {initial: None}
+    queue = Frontier(strategy)
+    queue.push(initial)
+    stats.visited = 1
+
+    def build_trace(state: State) -> List[State]:
+        path = [state]
+        while parents[path[-1]] is not None:
+            path.append(parents[path[-1]])  # type: ignore[arg-type]
+        path.reverse()
+        return path
+
+    if initial.is_accepting():
+        return PWLDecision(
+            True, stats, width_bound, build_trace(initial) if trace else None
+        )
+
+    while queue:
+        stats.max_frontier = max(stats.max_frontier, len(queue))
+        state = queue.pop()
+        for successor in generator.successors(state):
+            if successor in parents:
+                continue
+            parents[successor] = state
+            stats.visited += 1
+            if successor.is_accepting():
+                return PWLDecision(
+                    True,
+                    stats,
+                    width_bound,
+                    build_trace(successor) if trace else None,
+                )
+            queue.push(successor)
+            if max_states is not None and stats.visited >= max_states:
+                return PWLDecision(False, stats, width_bound, None)
+
+    return PWLDecision(False, stats, width_bound, None)
+
+
+def decide_pwl_ward(
+    query: ConjunctiveQuery,
+    answer: Sequence[Constant],
+    database: Database,
+    program: Program,
+    *,
+    width_bound: Optional[int] = None,
+    specialization: str = "guided",
+    strategy: str = "bestfirst",
+    check_membership: bool = True,
+    trace: bool = False,
+    max_states: Optional[int] = None,
+    oracle: Optional[object] = None,
+    use_oracle: bool = True,
+) -> PWLDecision:
+    """Decide ``c̄ ∈ cert(q, D, Σ)`` for Σ ∈ WARD ∩ PWL (Theorem 4.2).
+
+    The program is normalized to single-head form; the width bound
+    defaults to ``f_WARD∩PWL(q, Σ)`` computed on the normalized program.
+    With ``check_membership`` the WARD and PWL conditions are verified
+    up front (completeness of the linear search is only guaranteed
+    inside the class — Theorem 5.1 shows PWL alone is undecidable).
+    """
+    if check_membership:
+        if not is_warded(program):
+            raise ValueError("program is not warded")
+        if not is_piecewise_linear(program):
+            raise ValueError("program is not piece-wise linear")
+    normalized = program.single_head()
+    bound = (
+        width_bound
+        if width_bound is not None
+        else max(node_width_bound_pwl(query, normalized), query.width())
+    )
+    initial = query.instantiate(tuple(answer))
+    return linear_proof_search(
+        initial,
+        database,
+        normalized,
+        bound,
+        specialization=specialization,
+        strategy=strategy,
+        trace=trace,
+        max_states=max_states,
+        oracle=oracle,
+        use_oracle=use_oracle,
+    )

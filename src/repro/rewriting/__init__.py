@@ -1,0 +1,18 @@
+"""UCQ unfolding (Section 4.1).
+
+"It is known that given a CQ q and a set Σ of TGDs, we can unfold q
+using the TGDs of Σ into an infinite union of CQs qΣ such that, for
+every database D, cert(q, D, Σ) = qΣ(D)" — the resolution view of
+certain answers that the proof-tree machinery of the paper refines.
+
+:func:`unfold` performs the unfolding by exhaustive chunk-based
+resolution over canonicalized CQs, bounded by depth and size budgets;
+the result is directly evaluable over any database and reports whether
+the enumeration was exhaustive (then the evaluation is *exact*, which
+is the case for non-recursive programs) or truncated (then it is a
+sound under-approximation).
+"""
+
+from .ucq import UCQRewriting, unfold
+
+__all__ = ["UCQRewriting", "unfold"]

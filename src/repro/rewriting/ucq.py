@@ -1,0 +1,129 @@
+"""Unfolding a CQ into a union of CQs by chunk-based resolution.
+
+The enumeration explores the resolution graph breadth-first from q:
+every node is a CQ of the (possibly infinite) union qΣ, and every
+σ-resolvent through an MGCU (Definition 4.3) is an edge.  CQs are
+canonicalized (output variables frozen, the rest renamed into a fixed
+pool) so that variants meeting again are merged — the same device the
+Section 4.3 algorithm and the Lemma 6.4 rewriting use.
+
+Soundness/completeness contract (implicit in [16, 22], restated as
+Theorem 4.7 through proof trees):
+
+* every enumerated CQ evaluates soundly over the *raw database* — no
+  chase, no nulls;
+* if the enumeration exhausts (no new canonical CQ within the budgets),
+  ``evaluate`` computes exactly cert(q, D, Σ) for every D;
+* recursive programs generally have an infinite unfolding, so the
+  budgets truncate and ``complete`` turns False — evaluation is then a
+  sound under-approximation (the bounded-depth fragment of qΣ).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Set, Tuple
+
+from ..core.instance import Database
+from ..core.program import Program
+from ..core.query import ConjunctiveQuery
+from ..core.terms import Constant
+from ..prooftree.canonical import canonical_form
+from ..prooftree.resolution import resolvents
+
+__all__ = ["UCQRewriting", "unfold"]
+
+
+@dataclass
+class UCQRewriting:
+    """A (possibly truncated) finite fragment of the unfolding qΣ."""
+
+    query: ConjunctiveQuery
+    disjuncts: Tuple[ConjunctiveQuery, ...]
+    complete: bool
+    depth_reached: int
+    generated: int          # resolvents produced, incl. duplicates
+
+    def __len__(self) -> int:
+        return len(self.disjuncts)
+
+    def evaluate(self, database: Database) -> Set[Tuple[Constant, ...]]:
+        """Union of the disjuncts' evaluations over the raw database."""
+        instance = database.to_instance()
+        answers: Set[Tuple[Constant, ...]] = set()
+        for disjunct in self.disjuncts:
+            answers |= disjunct.evaluate(instance)
+        return answers
+
+
+def _canonical_key(query: ConjunctiveQuery):
+    return (
+        query.output,
+        canonical_form(query.atoms, query.output_variables()),
+    )
+
+
+def unfold(
+    query: ConjunctiveQuery,
+    program: Program,
+    *,
+    max_depth: int = 8,
+    max_cqs: int = 2000,
+    max_atoms: Optional[int] = None,
+) -> UCQRewriting:
+    """Enumerate the unfolding of *query* under *program*.
+
+    ``max_depth`` bounds the resolution distance from q, ``max_cqs``
+    the number of canonical disjuncts, and ``max_atoms`` (default:
+    unbounded) the size of each disjunct.  Hitting any budget marks the
+    rewriting incomplete.
+    """
+    if max_depth < 0:
+        raise ValueError("max_depth must be non-negative")
+    normalized = program.single_head()
+
+    seen = {_canonical_key(query)}
+    disjuncts: List[ConjunctiveQuery] = [query]
+    frontier: Deque[Tuple[ConjunctiveQuery, int]] = deque([(query, 0)])
+    complete = True
+    depth_reached = 0
+    generated = 0
+
+    while frontier:
+        current, depth = frontier.popleft()
+        if depth >= max_depth:
+            # Unexpanded node: if it has any resolvent at all, the
+            # enumeration is truncated.
+            if any(
+                True
+                for tgd in normalized
+                for _ in resolvents(current, tgd)
+            ):
+                complete = False
+            continue
+        for tgd in normalized:
+            for resolvent in resolvents(current, tgd):
+                generated += 1
+                candidate = resolvent.query
+                if max_atoms is not None and candidate.width() > max_atoms:
+                    complete = False
+                    continue
+                key = _canonical_key(candidate)
+                if key in seen:
+                    continue
+                if len(disjuncts) >= max_cqs:
+                    complete = False
+                    continue
+                seen.add(key)
+                disjuncts.append(candidate)
+                depth_reached = max(depth_reached, depth + 1)
+                frontier.append((candidate, depth + 1))
+
+    return UCQRewriting(
+        query=query,
+        disjuncts=tuple(disjuncts),
+        complete=complete,
+        depth_reached=depth_reached,
+        generated=generated,
+    )

@@ -1,0 +1,26 @@
+"""The Theorem 5.1 machinery: tiling systems, reduction, direct solver."""
+
+from .reduction import (
+    TilingReduction,
+    build_reduction,
+    reduction_class_profile,
+    reduction_holds_within,
+    tiling_program,
+    tiling_query,
+)
+from .solver import enumerate_rows, find_tiling, has_tiling_within
+from .system import TilingSystem, is_valid_tiling
+
+__all__ = [
+    "TilingSystem",
+    "is_valid_tiling",
+    "enumerate_rows",
+    "find_tiling",
+    "has_tiling_within",
+    "build_reduction",
+    "TilingReduction",
+    "tiling_program",
+    "tiling_query",
+    "reduction_class_profile",
+    "reduction_holds_within",
+]

@@ -1,0 +1,153 @@
+"""The Theorem 5.1 reduction: UnboundedTiling ⟶ CQAns(PWL).
+
+Given a tiling system T the reduction produces a database D_T, a fixed
+set Σ of TGDs in PWL (but **not** in WARD), and a fixed Boolean CQ q,
+such that T has a tiling iff () ∈ cert(q, D_T, Σ).  Σ and q do not
+depend on T; only D_T does.  The construction (verbatim from the paper):
+
+* ``Row(p, c, s, e)`` encodes a row with id *c* extending row *p*,
+  starting with tile *s* and ending with tile *e*; rows are created by
+  two TGDs (single-tile rows, and H-extension inventing a fresh row id);
+* ``Comp(x, x')`` relates vertically compatible row ids, built in
+  lockstep along the two rows;
+* ``CTiling(x, y)`` collects rows that can appear as the last row of a
+  candidate tiling stack whose first row starts with the start tile,
+  with *y* the row's first tile;
+* the query asks for a ``CTiling`` row starting with the finish tile.
+
+Since the chase of D_T under Σ is infinite whenever H allows unbounded
+rows, the reproduction demonstrates the reduction through *bounded*
+runs: :func:`reduction_holds_within` chases to a depth sufficient for
+tilings of bounded size and compares against the direct solver — the
+semi-decision behaviour an undecidable problem admits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..analysis.piecewise import is_piecewise_linear
+from ..analysis.wardedness import is_warded
+from ..chase.runner import chase
+from ..chase.termination import DepthPolicy
+from ..core.atoms import Atom
+from ..core.instance import Database
+from ..core.program import Program
+from ..core.query import ConjunctiveQuery
+from ..core.terms import Constant, Variable
+from ..core.tgd import TGD
+from ..lang.parser import parse_program, parse_query
+from .solver import has_tiling_within
+from .system import TilingSystem
+
+__all__ = [
+    "TilingReduction",
+    "build_reduction",
+    "tiling_program",
+    "tiling_query",
+    "reduction_holds_within",
+]
+
+_PROGRAM_TEXT = """
+    % Rows that respect the horizontal constraints.
+    row(Z, Z, X, X)  :- tile(X).
+    row(X, U, Y, W)  :- row(_, X, Y, Z), h(Z, W).
+
+    % Pairs of vertically compatible rows, built in lockstep.
+    comp(X, Xp)      :- row(X, X, Y, Y), row(Xp, Xp, Yp, Yp), v(Y, Yp).
+    comp(Y, Yp)      :- row(X, Y, _, Z), row(Xp, Yp, _, Zp),
+                        comp(X, Xp), v(Z, Zp).
+
+    % Candidate tilings with their bottom-left tile.
+    ctiling(X, Y)    :- row(_, X, Y, Z), start(Y), right(Z).
+    ctiling(Y, Z)    :- ctiling(X, _), row(_, Y, Z, W),
+                        comp(X, Y), le(Z), right(W).
+"""
+
+
+@dataclass
+class TilingReduction:
+    """The (D_T, Σ, q) triple of the Theorem 5.1 reduction."""
+
+    database: Database
+    program: Program
+    query: ConjunctiveQuery
+    system: TilingSystem
+
+
+def tiling_program() -> Program:
+    """The fixed TGD set Σ (independent of the tiling system)."""
+    program, leftover = parse_program(_PROGRAM_TEXT, name="tiling-reduction")
+    assert len(leftover) == 0, "the reduction program text contains no facts"
+    return program
+
+
+def tiling_query() -> ConjunctiveQuery:
+    """The fixed Boolean CQ: ``Q ← CTiling(x, y), Finish(y)``."""
+    return parse_query("q() :- ctiling(X, Y), finish(Y).")
+
+
+def build_reduction(system: TilingSystem) -> TilingReduction:
+    """Assemble D_T, Σ, and q for the given tiling system."""
+    database = Database()
+    for tile in sorted(system.tiles):
+        database.add(Atom("tile", (Constant(tile),)))
+    for tile in sorted(system.left):
+        database.add(Atom("le", (Constant(tile),)))
+    for tile in sorted(system.right):
+        database.add(Atom("right", (Constant(tile),)))
+    for pair in sorted(system.horizontal):
+        database.add(Atom("h", (Constant(pair[0]), Constant(pair[1]))))
+    for pair in sorted(system.vertical):
+        database.add(Atom("v", (Constant(pair[0]), Constant(pair[1]))))
+    database.add(Atom("start", (Constant(system.start),)))
+    database.add(Atom("finish", (Constant(system.finish),)))
+    return TilingReduction(
+        database=database,
+        program=tiling_program(),
+        query=tiling_query(),
+        system=system,
+    )
+
+
+def reduction_class_profile() -> Tuple[bool, bool]:
+    """(is PWL, is warded) of the reduction program — expected (True, False).
+
+    Theorem 5.1 hinges on Σ being piece-wise linear yet *not* warded:
+    the lockstep ``Comp`` rules join two dangerous row-id variables
+    coming from different atoms, which no single ward can cover.
+    """
+    program = tiling_program()
+    return is_piecewise_linear(program), is_warded(program)
+
+
+def reduction_holds_within(
+    system: TilingSystem,
+    max_width: int,
+    max_height: int,
+    *,
+    chase_depth: Optional[int] = None,
+    max_atoms: int = 200000,
+) -> Tuple[bool, bool]:
+    """Compare the reduction against the direct solver on bounded instances.
+
+    Returns ``(reduction_answer, solver_answer)``.  The chase depth
+    needed for a tiling of width W and height M is bounded by the number
+    of row-extension steps, W·(M+1) plus slack; callers may override.
+    The reduction side is a *semi-decision*: a bounded chase that
+    answers True is definitive, False only means "no tiling within the
+    budget".
+    """
+    reduction = build_reduction(system)
+    depth = chase_depth if chase_depth is not None else max_width + 2
+    result = chase(
+        reduction.database,
+        reduction.program,
+        variant="restricted",
+        policy=DepthPolicy(depth),
+        max_atoms=max_atoms,
+    )
+    reduction_answer = result.evaluate(reduction.query) == {()}
+    solver_answer = has_tiling_within(system, max_width, max_height)
+    return reduction_answer, solver_answer

@@ -1,0 +1,100 @@
+"""A direct bounded tiling solver — ground truth for the E5 benchmark.
+
+The unbounded tiling problem is undecidable, so no complete solver
+exists; the reproduction needs only a *bounded* search (does a tiling of
+width ≤ W and height ≤ M exist?) that mirrors the bounded chase of the
+Section 5 reduction.  The solver enumerates rows left-to-right (H-valid,
+right-terminated) and stacks them (V-compatible), exactly the structure
+the reduction's Row/Comp/CTiling predicates build.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .system import Tile, TilingSystem, is_valid_tiling
+
+__all__ = ["enumerate_rows", "find_tiling", "has_tiling_within"]
+
+
+def enumerate_rows(
+    system: TilingSystem,
+    width: int,
+    first_tiles: Sequence[Tile],
+) -> Iterator[Tuple[Tile, ...]]:
+    """All H-valid rows of exactly *width* tiles.
+
+    The row must begin with one of *first_tiles* and end with a
+    right-border tile — matching the reduction's ``CTiling`` side
+    conditions (``Start``/``Le`` on the first tile, ``Right`` on the
+    last).
+    """
+
+    def extend(prefix: List[Tile]) -> Iterator[Tuple[Tile, ...]]:
+        if len(prefix) == width:
+            if prefix[-1] in system.right:
+                yield tuple(prefix)
+            return
+        for tile in sorted(system.tiles):
+            if (prefix[-1], tile) in system.horizontal:
+                prefix.append(tile)
+                yield from extend(prefix)
+                prefix.pop()
+
+    for first in sorted(set(first_tiles)):
+        if first in system.tiles:
+            yield from extend([first])
+
+
+def _compatible(
+    system: TilingSystem, upper: Sequence[Tile], lower: Sequence[Tile]
+) -> bool:
+    return all(
+        (top, bottom) in system.vertical for top, bottom in zip(upper, lower)
+    )
+
+
+def find_tiling(
+    system: TilingSystem,
+    max_width: int,
+    max_height: int,
+) -> Optional[List[Tuple[Tile, ...]]]:
+    """A tiling with width ≤ *max_width* and height ≤ *max_height*, or None.
+
+    Performs, per width, a depth-first search over V-compatible row
+    stacks: the first row must start with the start tile, subsequent
+    rows with left-border tiles, and the accepting row with the finish
+    tile.
+    """
+    for width in range(1, max_width + 1):
+        first_rows = list(enumerate_rows(system, width, [system.start]))
+        next_rows = list(enumerate_rows(system, width, sorted(system.left)))
+
+        def search(stack: List[Tuple[Tile, ...]]) -> Optional[List[Tuple[Tile, ...]]]:
+            if stack[-1][0] == system.finish:
+                candidate = list(stack)
+                if is_valid_tiling(system, candidate):
+                    return candidate
+            if len(stack) >= max_height:
+                return None
+            for row in next_rows:
+                if _compatible(system, stack[-1], row):
+                    stack.append(row)
+                    found = search(stack)
+                    stack.pop()
+                    if found is not None:
+                        return found
+            return None
+
+        for first in first_rows:
+            found = search([first])
+            if found is not None:
+                return found
+    return None
+
+
+def has_tiling_within(
+    system: TilingSystem, max_width: int, max_height: int
+) -> bool:
+    """Decision form of :func:`find_tiling`."""
+    return find_tiling(system, max_width, max_height) is not None

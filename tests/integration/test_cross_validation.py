@@ -1,0 +1,142 @@
+"""Cross-engine validation on generated scenarios.
+
+Every engine in the package implements the same semantics (certain
+answers); these tests run them against each other on seeded scenarios
+from the benchmark suites — the strongest correctness signal the
+reproduction has.
+"""
+
+import random
+
+import pytest
+
+from repro.benchsuite import (
+    generate_chasebench,
+    generate_dbpedia,
+    generate_ibench,
+    generate_industrial,
+    generate_iwarded,
+)
+from repro.chase.runner import chase
+from repro.core.instance import Database
+from repro.core.terms import Constant
+from repro.datalog.seminaive import seminaive
+from repro.engine.operators import OperatorNetwork
+from repro.lang.parser import parse_program, parse_query
+from repro.reasoning.answers import certain_answers
+from repro.reasoning.pwl_ward import decide_pwl_ward
+from repro.reasoning.ward import decide_ward
+
+
+class TestDatalogEnginesAgree:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_seminaive_vs_chase_vs_network(self, seed):
+        rng = random.Random(seed)
+        n = 8
+        facts = "\n".join(
+            f"e(n{rng.randrange(n)}, n{rng.randrange(n)})." for _ in range(12)
+        )
+        program, database = parse_program(facts + """
+            t(X,Y) :- e(X,Y).
+            t(X,Z) :- e(X,Y), t(Y,Z).
+        """)
+        query = parse_query("q(X,Y) :- t(X,Y).")
+        via_seminaive = seminaive(database, program).evaluate(query)
+        via_chase = chase(database, program).evaluate(query)
+        via_network = query.evaluate(
+            OperatorNetwork(program).run(database).instance
+        )
+        assert via_seminaive == via_chase == via_network
+
+
+class TestProofTreeVsChase:
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_pwl_engine_matches_chase_on_datalog(self, seed):
+        scenario = generate_iwarded(seed=seed, flavour="linear", vertices=7,
+                                    edges=10)
+        # Restrict to the full (Datalog) sub-program for a terminating
+        # chase baseline: drop the existential core.
+        from repro.core.program import Program
+
+        full_rules = [t for t in scenario.program if t.is_full()]
+        program = Program(full_rules)
+        database = scenario.database
+        query = parse_query("q(X,Y) :- iw_t(X,Y).")
+        baseline = chase(database, program).evaluate(query)
+        via_engine = certain_answers(query, database, program, method="pwl")
+        assert via_engine == baseline
+
+    def test_decisions_match_chase_with_existentials(self):
+        program, database = parse_program("""
+            p(a). p(b). e(a,b).
+            r(X,K) :- p(X).
+            s(Y) :- r(X,Y), e(X,Z).
+        """)
+        assert program.is_warded() and program.is_piecewise_linear()
+        # Boolean probes answered by both the chase (terminating here)
+        # and the proof-tree engines must agree.
+        for text, expected in [
+            ("q() :- r(a, W).", True),
+            ("q() :- s(W).", True),
+            ("q(X) :- r(X, W).", None),
+        ]:
+            query = parse_query(text)
+            result = chase(database, program, max_atoms=5000)
+            assert result.saturated
+            chase_answers_set = result.evaluate(query)
+            engine_answers = certain_answers(
+                query, database, program, method="pwl"
+            )
+            assert engine_answers == chase_answers_set
+
+
+class TestWardVsPwl:
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_engines_agree_on_pwl_scenarios(self, seed):
+        scenario = generate_industrial(
+            seed=seed, flavour="control", companies=8, ownerships=12
+        )
+        query = scenario.queries[0]
+        database = scenario.database
+        domain = sorted(database.constants(), key=str)[:4]
+        rng = random.Random(seed)
+        for _ in range(4):
+            answer = (rng.choice(domain), rng.choice(domain))
+            via_pwl = decide_pwl_ward(
+                query, answer, database, scenario.program
+            ).accepted
+            via_ward = decide_ward(
+                query, answer, database, scenario.program
+            ).accepted
+            assert via_pwl == via_ward
+
+
+class TestSuiteScenariosAnswerable:
+    def test_ibench_scenarios_evaluate(self):
+        scenario = generate_ibench(seed=9, primitives=4)
+        query = scenario.queries[0]
+        answers = certain_answers(
+            query, scenario.database, scenario.program, method="auto"
+        )
+        # data-exchange scenarios always propagate their sources
+        assert isinstance(answers, set)
+
+    def test_chasebench_scenario_evaluates(self):
+        scenario = generate_chasebench(seed=10, recursion="linear", entities=6)
+        query = scenario.queries[0]     # q(X) :- cb_org(X)
+        answers = certain_answers(
+            query, scenario.database, scenario.program, method="pwl"
+        )
+        assert answers  # every hospital becomes an org
+
+    def test_dbpedia_scenario_evaluates(self):
+        scenario = generate_dbpedia(seed=11, classes=6, entities=8)
+        query = scenario.queries[1]     # subclass closure
+        answers = certain_answers(
+            query, scenario.database, scenario.program, method="pwl"
+        )
+        direct_facts = {
+            (atom.args[0], atom.args[1])
+            for atom in scenario.database.with_predicate("subClass")
+        }
+        assert direct_facts <= answers

@@ -1,0 +1,47 @@
+"""Shared hypothesis strategies for the property-based tests."""
+
+from hypothesis import strategies as st
+
+from repro.core.atoms import Atom
+from repro.core.terms import Constant, Variable
+
+PREDICATES = ["p", "q", "r", "s"]
+VARIABLE_NAMES = ["X", "Y", "Z", "W", "V"]
+CONSTANT_VALUES = ["a", "b", "c"]
+
+
+def variables():
+    return st.sampled_from(VARIABLE_NAMES).map(Variable)
+
+
+def constants():
+    return st.sampled_from(CONSTANT_VALUES).map(Constant)
+
+
+def terms():
+    return st.one_of(variables(), constants())
+
+
+def atoms(max_arity: int = 3):
+    """Random flat atoms over a small vocabulary."""
+    return st.builds(
+        lambda pred, args: Atom(f"{pred}{len(args)}", tuple(args)),
+        st.sampled_from(PREDICATES),
+        st.lists(terms(), min_size=1, max_size=max_arity),
+    )
+
+
+def atom_sets(min_size: int = 1, max_size: int = 5):
+    return st.lists(atoms(), min_size=min_size, max_size=max_size).map(tuple)
+
+
+def renamings():
+    """A random injective renaming of the variable vocabulary."""
+    return st.permutations(
+        [f"R{i}" for i in range(len(VARIABLE_NAMES))]
+    ).map(
+        lambda names: {
+            Variable(old): Variable(new)
+            for old, new in zip(VARIABLE_NAMES, names)
+        }
+    )

@@ -1,0 +1,79 @@
+"""Property tests for the star-abstraction oracle invariant.
+
+The soundness of the dead-state pruning (and of the candidate pools of
+the answer facade) rests on one invariant: the abstraction
+over-approximates every chase — collapsing the nulls of any chase atom
+to ⋆ must yield an atom of the abstract instance.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.chase import chase
+from repro.core.atoms import Atom
+from repro.core.instance import Database
+from repro.core.terms import Constant, Null
+from repro.lang.parser import parse_program
+from repro.reasoning.abstraction import STAR, star_abstraction
+
+NODES = 5
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, NODES - 1), st.integers(0, NODES - 1)).filter(
+        lambda p: p[0] != p[1]
+    ),
+    min_size=1,
+    max_size=10,
+    unique=True,
+)
+
+seeds = st.lists(st.integers(0, NODES - 1), min_size=1, max_size=3,
+                 unique=True)
+
+
+def existential_program():
+    program, _ = parse_program("""
+        t(X,Y) :- e(X,Y).
+        t(X,Z) :- e(X,Y), t(Y,Z).
+        mark(X,W) :- t(X,Y).
+        seen(X) :- mark(X,W).
+    """)
+    return program
+
+
+def build_database(pairs, marked) -> Database:
+    database = Database()
+    for a, b in pairs:
+        database.add(Atom("e", (Constant(f"n{a}"), Constant(f"n{b}"))))
+    for node in marked:
+        database.add(Atom("p", (Constant(f"n{node}"),)))
+    return database
+
+
+def collapse(atom: Atom) -> Atom:
+    return Atom(
+        atom.predicate,
+        tuple(STAR if isinstance(t, Null) else t for t in atom.args),
+    )
+
+
+@given(edge_lists, seeds)
+@settings(max_examples=40, deadline=None)
+def test_abstraction_over_approximates_chase(pairs, marked):
+    program = existential_program()
+    database = build_database(pairs, marked)
+    abstract = star_abstraction(database, program.single_head())
+    result = chase(database, program, max_atoms=4000)
+    assert result.saturated
+    for atom in result.instance:
+        assert collapse(atom) in abstract, atom
+
+
+@given(edge_lists, seeds)
+@settings(max_examples=25, deadline=None)
+def test_abstraction_is_full_datalog_fixpoint(pairs, marked):
+    # The abstraction contains no nulls — only constants (incl. ⋆).
+    program = existential_program()
+    database = build_database(pairs, marked)
+    abstract = star_abstraction(database, program.single_head())
+    for atom in abstract:
+        assert all(isinstance(t, Constant) for t in atom.args)

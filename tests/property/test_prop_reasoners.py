@@ -1,0 +1,119 @@
+"""Property-based tests for the reasoning engines against ground truth."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.atoms import Atom
+from repro.core.instance import Database
+from repro.core.program import Program
+from repro.core.terms import Constant, Variable
+from repro.core.tgd import TGD
+from repro.lang.parser import parse_query
+from repro.reasoning.pwl_ward import decide_pwl_ward
+from repro.reasoning.ward import decide_ward
+
+
+@st.composite
+def graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=6))
+    m = draw(st.integers(min_value=1, max_value=10))
+    rng = random.Random(draw(st.integers(0, 10**6)))
+    edges = set()
+    for _ in range(m):
+        edges.add((rng.randrange(n), rng.randrange(n)))
+    return n, sorted(edges)
+
+
+def reachable_pairs(n, edges):
+    """Transitive closure by plain BFS: the ground truth."""
+    adjacency = {}
+    for u, v in edges:
+        adjacency.setdefault(u, set()).add(v)
+    closure = set()
+    for start in range(n):
+        seen = set()
+        stack = list(adjacency.get(start, ()))
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(adjacency.get(node, ()))
+        closure.update((start, node) for node in seen)
+    return closure
+
+
+def tc_program():
+    x, y, z = Variable("X"), Variable("Y"), Variable("Z")
+    return Program([
+        TGD((Atom("e", (x, y)),), (Atom("t", (x, y)),)),
+        TGD((Atom("e", (x, y)), Atom("t", (y, z))), (Atom("t", (x, z)),)),
+    ])
+
+
+def doubling_program():
+    x, y, z = Variable("X"), Variable("Y"), Variable("Z")
+    return Program([
+        TGD((Atom("e", (x, y)),), (Atom("t", (x, y)),)),
+        TGD((Atom("t", (x, y)), Atom("t", (y, z))), (Atom("t", (x, z)),)),
+    ])
+
+
+def database_of(edges):
+    return Database(
+        Atom("e", (Constant(f"n{u}"), Constant(f"n{v}"))) for u, v in edges
+    )
+
+
+@given(graphs(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_pwl_engine_decides_reachability(graph, data):
+    """The linear proof search agrees with BFS reachability."""
+    n, edges = graph
+    closure = reachable_pairs(n, edges)
+    database = database_of(edges)
+    program = tc_program()
+    query = parse_query("q(X,Y) :- t(X,Y).")
+    source = data.draw(st.integers(0, n - 1))
+    target = data.draw(st.integers(0, n - 1))
+    answer = (Constant(f"n{source}"), Constant(f"n{target}"))
+    decision = decide_pwl_ward(query, answer, database, program)
+    assert decision.accepted == ((source, target) in closure)
+
+
+@given(graphs(), st.data())
+@settings(max_examples=15, deadline=None)
+def test_ward_engine_decides_reachability(graph, data):
+    """The AND-OR search on the doubling rule agrees with BFS."""
+    n, edges = graph
+    closure = reachable_pairs(n, edges)
+    database = database_of(edges)
+    program = doubling_program()
+    query = parse_query("q(X,Y) :- t(X,Y).")
+    source = data.draw(st.integers(0, n - 1))
+    target = data.draw(st.integers(0, n - 1))
+    answer = (Constant(f"n{source}"), Constant(f"n{target}"))
+    decision = decide_ward(query, answer, database, program)
+    assert decision.accepted == ((source, target) in closure)
+
+
+@given(graphs(), st.data())
+@settings(max_examples=10, deadline=None)
+def test_guided_equals_exhaustive_specialization(graph, data):
+    """The guided successor generation is a complete optimization."""
+    n, edges = graph
+    database = database_of(edges)
+    program = tc_program()
+    query = parse_query("q(X,Y) :- t(X,Y).")
+    source = data.draw(st.integers(0, n - 1))
+    target = data.draw(st.integers(0, n - 1))
+    answer = (Constant(f"n{source}"), Constant(f"n{target}"))
+    guided = decide_pwl_ward(
+        query, answer, database, program, specialization="guided"
+    ).accepted
+    exhaustive = decide_pwl_ward(
+        query, answer, database, program, specialization="exhaustive"
+    ).accepted
+    assert guided == exhaustive

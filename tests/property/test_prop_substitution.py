@@ -1,0 +1,62 @@
+"""Property-based tests for the substitution algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.substitution import Substitution
+from repro.core.terms import Variable
+
+from .strategies import atoms, terms, variables
+
+
+@st.composite
+def substitutions(draw):
+    pairs = draw(
+        st.dictionaries(variables(), terms(), min_size=0, max_size=4)
+    )
+    return Substitution(pairs)
+
+
+@given(substitutions(), substitutions(), atoms())
+@settings(max_examples=200)
+def test_composition_definition(g, f, atom):
+    """(g ∘ f)(α) == g(f(α)) on atoms."""
+    composed = g @ f
+    assert composed.apply_atom(atom) == g.apply_atom(f.apply_atom(atom))
+
+
+@given(substitutions(), substitutions(), substitutions(), atoms())
+@settings(max_examples=150)
+def test_composition_associative_pointwise(h, g, f, atom):
+    left = (h @ g) @ f
+    right = h @ (g @ f)
+    assert left.apply_atom(atom) == right.apply_atom(atom)
+
+
+@given(substitutions(), atoms())
+@settings(max_examples=150)
+def test_identity_laws(subst, atom):
+    identity = Substitution.identity()
+    assert (subst @ identity).apply_atom(atom) == subst.apply_atom(atom)
+    assert (identity @ subst).apply_atom(atom) == subst.apply_atom(atom)
+
+
+@given(substitutions(), atoms())
+@settings(max_examples=150)
+def test_restriction_agrees_on_domain(subst, atom):
+    domain = list(subst.variable_domain())[:2]
+    restricted = subst.restrict(domain)
+    for var in domain:
+        assert restricted.apply_term(var) == subst.apply_term(var)
+    outside = subst.variable_domain() - set(domain)
+    for var in outside:
+        assert restricted.apply_term(var) == var
+
+
+@given(substitutions())
+@settings(max_examples=100)
+def test_constants_always_fixed(subst):
+    from repro.core.terms import Constant
+
+    for value in ("a", "b", "zzz", 42):
+        assert subst.apply_term(Constant(value)) == Constant(value)

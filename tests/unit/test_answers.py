@@ -1,0 +1,191 @@
+"""Unit tests for the certain-answer facade."""
+
+import pytest
+
+from repro.core.terms import Constant
+from repro.lang.parser import parse_program, parse_query
+from repro.reasoning.answers import (
+    UnsupportedProgramError,
+    certain_answers,
+    is_certain_answer,
+)
+
+a, b, c = Constant("a"), Constant("b"), Constant("c")
+
+
+class TestAutoDispatch:
+    def test_datalog_route(self):
+        program, database = parse_program("""
+            e(a,b). e(b,c).
+            t(X,Y) :- e(X,Y).
+            t(X,Z) :- t(X,Y), t(Y,Z).
+        """)
+        query = parse_query("q(X,Y) :- t(X,Y).")
+        report = certain_answers(query, database, program, report=True)
+        assert report.method == "datalog"
+        assert report.answers == {(a, b), (b, c), (a, c)}
+
+    def test_pwl_route(self):
+        program, database = parse_program("""
+            p(c).
+            r(X,Z) :- p(X).
+            p(Y) :- r(X,Y).
+        """)
+        query = parse_query("q(X) :- r(X,Y).")
+        report = certain_answers(query, database, program, report=True)
+        assert report.method == "pwl"
+        assert report.answers == {(c,)}
+
+    def test_ward_route(self):
+        program, database = parse_program("""
+            e(a,b). e(b,c).
+            s(X) :- p(X).
+            t(X,Y) :- e(X,Y).
+            t(X,Z) :- t(X,Y), t(Y,Z).
+            t(X,K) :- s(X).
+        """)
+        query = parse_query("q(X,Y) :- t(X,Y).")
+        report = certain_answers(query, database, program, report=True)
+        assert report.method == "ward"
+        assert report.answers == {(a, b), (b, c), (a, c)}
+
+    def test_chase_route_for_non_warded_terminating(self):
+        # Two dangerous variables in different body atoms (no ward), but
+        # the chase terminates: answers are exact via the chase route.
+        program, database = parse_program("""
+            p(a).
+            r(X,K) :- p(X).
+            s(Y,X) :- r(X,Y).
+            t(Y,W) :- s(Y,X), r(X,W).
+        """)
+        assert not program.is_warded()
+        query = parse_query("q() :- t(X,W).")
+        report = certain_answers(query, database, program, report=True)
+        assert report.method == "chase"
+        assert report.answers == {()}
+
+
+class TestMethodSelection:
+    def test_unknown_method(self):
+        program, database = parse_program("e(a,b). t(X,Y) :- e(X,Y).")
+        query = parse_query("q(X,Y) :- t(X,Y).")
+        with pytest.raises(ValueError, match="unknown method"):
+            certain_answers(query, database, program, method="bogus")
+
+    def test_explicit_pwl_on_datalog(self):
+        program, database = parse_program("""
+            e(a,b). e(b,c).
+            t(X,Y) :- e(X,Y).
+            t(X,Z) :- e(X,Y), t(Y,Z).
+        """)
+        query = parse_query("q(X,Y) :- t(X,Y).")
+        datalog = certain_answers(query, database, program, method="datalog")
+        pwl = certain_answers(query, database, program, method="pwl")
+        assert datalog == pwl
+
+
+class TestIsCertainAnswer:
+    def test_positive_and_negative(self):
+        program, database = parse_program("""
+            e(a,b). e(b,c).
+            t(X,Y) :- e(X,Y).
+            t(X,Z) :- e(X,Y), t(Y,Z).
+        """)
+        query = parse_query("q(X,Y) :- t(X,Y).")
+        assert is_certain_answer(query, (a, c), database, program)
+        assert not is_certain_answer(query, (c, a), database, program)
+
+    def test_outside_ward_raises(self):
+        from repro.tiling.reduction import tiling_program
+
+        program = tiling_program()
+        _, database = parse_program("tile(t1).")
+        query = parse_query("q(X) :- tile(X).")
+        with pytest.raises(UnsupportedProgramError):
+            is_certain_answer(query, (Constant("t1"),), database, program)
+
+
+class TestProbeInteraction:
+    def test_probe_settles_positives(self):
+        program, database = parse_program("""
+            e(a,b). e(b,c).
+            t(X,Y) :- e(X,Y).
+            t(X,Z) :- e(X,Y), t(Y,Z).
+        """)
+        query = parse_query("q(X,Y) :- t(X,Y).")
+        report = certain_answers(
+            query, database, program, method="pwl", report=True, probe_depth=5
+        )
+        # the terminating restricted chase finds all three answers;
+        # only non-answers go through the decision procedure.
+        assert report.probe_answers == 3
+        assert report.answers == {(a, b), (b, c), (a, c)}
+
+    def test_boolean_query_answers(self):
+        program, database = parse_program("""
+            p(c).
+            r(X,Z) :- p(X).
+            p(Y) :- r(X,Y).
+        """)
+        query = parse_query("q() :- r(X,Y), p(Y).")
+        assert certain_answers(query, database, program, method="pwl") == {()}
+
+
+class TestCandidateCompleteness:
+    """The candidate pools come from the star abstraction, so the
+    answer set must be complete for *any* probe budget (regression:
+    pools drawn from a truncated probe silently dropped answers)."""
+
+    def setup_method(self):
+        self.program, self.database = parse_program("""
+            e(a,b). e(b,c). e(c,d).
+            t(X,Y) :- e(X,Y).
+            t(X,Z) :- e(X,Y), t(Y,Z).
+        """)
+        self.query = parse_query("q(X,Y) :- t(X,Y).")
+        self.truth = {
+            (a, b), (b, c), (a, c),
+            (Constant("c"), Constant("d")),
+            (b, Constant("d")), (a, Constant("d")),
+        }
+
+    def test_zero_probe_budget_still_complete(self):
+        answers = certain_answers(
+            self.query, self.database, self.program,
+            method="pwl", probe_atoms=0,
+        )
+        assert answers == self.truth
+
+    def test_tiny_probe_budget_still_complete(self):
+        for probe_atoms in (1, 4, 7):
+            answers = certain_answers(
+                self.query, self.database, self.program,
+                method="pwl", probe_atoms=probe_atoms,
+            )
+            assert answers == self.truth, probe_atoms
+
+    def test_ward_engine_same_guarantee(self):
+        program, database = parse_program("""
+            e(a,b). e(b,c).
+            t(X,Y) :- e(X,Y).
+            t(X,Z) :- t(X,Y), t(Y,Z).
+        """)
+        query = parse_query("q(X,Y) :- t(X,Y).")
+        answers = certain_answers(
+            query, database, program, method="ward", probe_atoms=0,
+        )
+        assert answers == {(a, b), (b, c), (a, c)}
+
+    def test_star_constant_never_a_candidate(self):
+        # Value invention puts ⋆ into the abstraction at r[1]; it must
+        # never surface as an answer candidate.
+        program, database = parse_program("""
+            p(c).
+            r(X,Z) :- p(X).
+            p(Y) :- r(X,Y).
+        """)
+        query = parse_query("q(Y) :- r(X,Y).")
+        answers = certain_answers(
+            query, database, program, method="pwl", probe_atoms=0,
+        )
+        assert answers == set()

@@ -1,0 +1,123 @@
+"""Unit tests for the synthetic benchmark suites and the E1 statistics."""
+
+import pytest
+
+from repro.analysis.linearization import linearize
+from repro.analysis.piecewise import is_piecewise_linear
+from repro.analysis.wardedness import is_warded
+from repro.benchsuite import (
+    RECURSION_FLAVOURS,
+    classify_corpus,
+    default_corpus,
+    generate_chasebench,
+    generate_dbpedia,
+    generate_ibench,
+    generate_industrial,
+    generate_iwarded,
+)
+
+
+class TestIWarded:
+    @pytest.mark.parametrize("flavour", RECURSION_FLAVOURS)
+    def test_all_flavours_warded(self, flavour):
+        scenario = generate_iwarded(seed=1, flavour=flavour)
+        assert is_warded(scenario.program), flavour
+
+    def test_planted_pwl_flavours(self):
+        for flavour, expect_pwl in [
+            ("none", True), ("linear", True), ("pwl", True),
+            ("linearizable", False), ("nonpwl", False),
+        ]:
+            scenario = generate_iwarded(seed=2, flavour=flavour)
+            assert is_piecewise_linear(scenario.program) == expect_pwl, flavour
+
+    def test_linearizable_flavour_linearizes(self):
+        scenario = generate_iwarded(seed=3, flavour="linearizable")
+        assert linearize(scenario.program).piecewise_linear
+
+    def test_nonpwl_flavour_does_not_linearize(self):
+        scenario = generate_iwarded(seed=4, flavour="nonpwl")
+        assert not linearize(scenario.program).piecewise_linear
+
+    def test_deterministic_given_seed(self):
+        s1 = generate_iwarded(seed=7, flavour="linear")
+        s2 = generate_iwarded(seed=7, flavour="linear")
+        assert s1.program == s2.program
+        assert s1.database.atoms() == s2.database.atoms()
+
+    def test_pwl_flavour_not_intensionally_linear(self):
+        from repro.analysis.piecewise import is_intensionally_linear
+        scenario = generate_iwarded(seed=5, flavour="pwl")
+        assert not is_intensionally_linear(scenario.program)
+
+
+class TestOtherSuites:
+    def test_ibench_is_pwl(self):
+        for seed in range(3):
+            scenario = generate_ibench(seed=seed)
+            assert is_warded(scenario.program)
+            assert is_piecewise_linear(scenario.program)
+
+    def test_ibench_target_recursion_stays_pwl(self):
+        scenario = generate_ibench(seed=1, add_target_recursion=True)
+        assert is_piecewise_linear(scenario.program)
+        assert scenario.planted_recursion == "linear"
+
+    def test_chasebench_flavours(self):
+        for recursion, expect_pwl in [
+            ("none", True), ("linear", True), ("linearizable", False)
+        ]:
+            scenario = generate_chasebench(seed=1, recursion=recursion)
+            assert is_warded(scenario.program)
+            assert is_piecewise_linear(scenario.program) == expect_pwl
+
+    def test_dbpedia_is_example_33(self):
+        scenario = generate_dbpedia(seed=1)
+        assert is_warded(scenario.program)
+        assert is_piecewise_linear(scenario.program)
+        assert len(scenario.program) == 6
+
+    def test_industrial_flavours(self):
+        psc = generate_industrial(seed=1, flavour="psc")
+        assert is_warded(psc.program) and is_piecewise_linear(psc.program)
+        nonpwl = generate_industrial(seed=1, flavour="nonpwl")
+        assert is_warded(nonpwl.program)
+        assert not is_piecewise_linear(nonpwl.program)
+
+
+class TestCorpusStatistics:
+    def test_buckets_partition_corpus(self):
+        corpus = default_corpus(scale=1)
+        stats = classify_corpus(corpus)
+        assert stats.direct_pwl + stats.linearizable + stats.beyond == stats.total
+
+    def test_all_scenarios_warded(self):
+        corpus = default_corpus(scale=1)
+        stats = classify_corpus(corpus)
+        assert stats.warded == stats.total
+
+    def test_fractions_near_paper_bands(self):
+        # Paper: ~55% direct, ~15% after elimination, ~70% combined.
+        stats = classify_corpus(default_corpus(scale=2))
+        assert 0.40 <= stats.direct_fraction <= 0.70
+        assert 0.05 <= stats.linearizable_fraction <= 0.30
+        assert 0.60 <= stats.pwl_fraction <= 0.85
+
+    def test_measured_matches_planted(self):
+        # The analyzers must agree with the planted ground truth.
+        corpus = default_corpus(scale=1)
+        for scenario in corpus:
+            direct = is_piecewise_linear(scenario.program)
+            if scenario.planted_recursion in ("none", "linear", "pwl"):
+                assert direct, scenario.describe()
+            elif scenario.planted_recursion == "linearizable":
+                assert not direct and linearize(scenario.program).piecewise_linear
+            elif scenario.planted_recursion == "nonpwl":
+                assert not direct
+                assert not linearize(scenario.program).piecewise_linear
+
+    def test_rows_format(self):
+        stats = classify_corpus(default_corpus(scale=1))
+        rows = stats.rows()
+        assert len(rows) == 3
+        assert abs(sum(fraction for _, _, fraction in rows) - 1.0) < 1e-9

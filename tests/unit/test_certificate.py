@@ -1,0 +1,189 @@
+"""Unit tests for certified answers (verifiable accepting runs)."""
+
+import pytest
+
+from repro.core.terms import Constant
+from repro.lang.parser import parse_program, parse_query
+from repro.reasoning.certificate import (
+    Certificate,
+    CertificateError,
+    certified_decision,
+    extract_certificate,
+    verify_certificate,
+)
+from repro.reasoning.state import State
+
+a, b, c, d = Constant("a"), Constant("b"), Constant("c"), Constant("d")
+
+
+def tc_setup():
+    program, database = parse_program("""
+        e(a,b). e(b,c). e(c,d).
+        t(X,Y) :- e(X,Y).
+        t(X,Z) :- e(X,Y), t(Y,Z).
+    """)
+    query = parse_query("q(X,Y) :- t(X,Y).")
+    return program, database, query
+
+
+class TestExtraction:
+    def test_positive_yields_certificate(self):
+        program, database, query = tc_setup()
+        certificate = extract_certificate(query, (a, d), database, program)
+        assert certificate is not None
+        assert certificate.answer == (a, d)
+        assert certificate.states[-1].is_accepting()
+        assert all(
+            op in ("resolution", "specialization")
+            for op in certificate.operations
+        )
+
+    def test_negative_yields_none(self):
+        program, database, query = tc_setup()
+        assert extract_certificate(query, (d, a), database, program) is None
+
+    def test_widths_respect_bound(self):
+        program, database, query = tc_setup()
+        certificate = extract_certificate(query, (a, d), database, program)
+        assert certificate.max_width() <= certificate.width_bound
+
+    def test_direct_database_match_gives_single_state(self):
+        program, database, query = tc_setup()
+        # t(a, b) resolves to e(a, b) ∈ D; the shortest certificates
+        # still need at least the base resolution step.
+        certificate = extract_certificate(query, (a, b), database, program)
+        assert certificate is not None
+        assert len(certificate) >= 2
+
+
+class TestVerification:
+    def test_extracted_certificates_verify(self):
+        program, database, query = tc_setup()
+        for answer in [(a, b), (a, c), (a, d), (b, d)]:
+            certificate = extract_certificate(
+                query, answer, database, program
+            )
+            assert verify_certificate(certificate, database, program)
+
+    def test_tampered_initial_state_rejected(self):
+        program, database, query = tc_setup()
+        certificate = extract_certificate(query, (a, d), database, program)
+        forged = Certificate(
+            query=certificate.query,
+            answer=(a, c),                      # claims a different tuple
+            states=certificate.states,
+            operations=certificate.operations,
+            width_bound=certificate.width_bound,
+        )
+        with pytest.raises(CertificateError, match="initial configuration"):
+            verify_certificate(forged, database, program)
+
+    def test_tampered_transition_rejected(self):
+        program, database, query = tc_setup()
+        certificate = extract_certificate(query, (a, d), database, program)
+        from repro.core.atoms import Atom
+
+        # Splice in an unreachable configuration.
+        states = list(certificate.states)
+        states[1] = State.make((Atom("t", (d, d)),), database)
+        forged = Certificate(
+            query=certificate.query,
+            answer=certificate.answer,
+            states=tuple(states),
+            operations=certificate.operations,
+            width_bound=certificate.width_bound,
+        )
+        with pytest.raises(CertificateError):
+            verify_certificate(forged, database, program)
+
+    def test_truncated_certificate_rejected(self):
+        program, database, query = tc_setup()
+        certificate = extract_certificate(query, (a, d), database, program)
+        forged = Certificate(
+            query=certificate.query,
+            answer=certificate.answer,
+            states=certificate.states[:-1],
+            operations=certificate.operations[:-1],
+            width_bound=certificate.width_bound,
+        )
+        with pytest.raises(CertificateError, match="not the empty CQ"):
+            verify_certificate(forged, database, program)
+
+    def test_misaligned_operations_rejected(self):
+        program, database, query = tc_setup()
+        certificate = extract_certificate(query, (a, d), database, program)
+        forged = Certificate(
+            query=certificate.query,
+            answer=certificate.answer,
+            states=certificate.states,
+            operations=certificate.operations[:-1],
+            width_bound=certificate.width_bound,
+        )
+        with pytest.raises(CertificateError, match="do not align"):
+            verify_certificate(forged, database, program)
+
+    def test_width_bound_violation_rejected(self):
+        program, database, query = tc_setup()
+        certificate = extract_certificate(query, (a, d), database, program)
+        forged = Certificate(
+            query=certificate.query,
+            answer=certificate.answer,
+            states=certificate.states,
+            operations=certificate.operations,
+            width_bound=0,
+        )
+        with pytest.raises(CertificateError, match="width bound"):
+            verify_certificate(forged, database, program)
+
+
+class TestCertifiedDecision:
+    def test_positive_verified_end_to_end(self):
+        program, database, query = tc_setup()
+        accepted, certificate = certified_decision(
+            query, (a, d), database, program
+        )
+        assert accepted and certificate is not None
+
+    def test_negative_has_no_witness(self):
+        program, database, query = tc_setup()
+        accepted, certificate = certified_decision(
+            query, (d, a), database, program
+        )
+        assert not accepted and certificate is None
+
+    def test_existential_program_certifiable(self):
+        program, database = parse_program("""
+            p(c).
+            r(X,Z) :- p(X).
+            p(Y) :- r(X,Y).
+        """)
+        query = parse_query("q(X) :- r(X,Y).")
+        accepted, certificate = certified_decision(
+            query, (c,), database, program
+        )
+        assert accepted
+        assert verify_certificate(certificate, database, program)
+
+    def test_all_chain_pairs(self):
+        program, database, query = tc_setup()
+        reachable = {(a, b), (b, c), (c, d), (a, c), (b, d), (a, d)}
+        for x in (a, b, c, d):
+            for y in (a, b, c, d):
+                accepted, certificate = certified_decision(
+                    query, (x, y), database, program
+                )
+                assert accepted == ((x, y) in reachable)
+                if accepted:
+                    assert certificate.states[-1].is_accepting()
+
+
+class TestSpecializationModes:
+    def test_exhaustive_search_still_certifiable(self):
+        # The verifier must re-derive paper-literal (exhaustive)
+        # specialization steps, not only guided ones.
+        program, database, query = tc_setup()
+        certificate = extract_certificate(
+            query, (a, d), database, program, specialization="exhaustive"
+        )
+        assert certificate is not None
+        assert verify_certificate(certificate, database, program)

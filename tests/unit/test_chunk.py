@@ -1,0 +1,104 @@
+"""Unit tests for chunk unifiers (Definition 4.3)."""
+
+import pytest
+
+from repro.core.atoms import Atom
+from repro.core.terms import Constant, Variable
+from repro.core.tgd import TGD
+from repro.prooftree.chunk import chunk_unifiers, shared_variables
+
+X, Y, Z, W = Variable("X"), Variable("Y"), Variable("Z"), Variable("W")
+XP, YP = Variable("xp"), Variable("yp")
+a = Constant("a")
+
+
+class TestSharedVariables:
+    def test_output_variables_are_shared(self):
+        atoms = [Atom("r", (X, Y))]
+        assert shared_variables(atoms, atoms, {X}) == {X}
+
+    def test_variables_in_rest_are_shared(self):
+        atoms = [Atom("r", (X, Y)), Atom("s", (Y,))]
+        assert shared_variables(atoms, atoms[:1], set()) == {Y}
+
+    def test_private_variables_not_shared(self):
+        atoms = [Atom("r", (X, Y)), Atom("s", (Z,))]
+        assert shared_variables(atoms, atoms[:1], set()) == set()
+
+
+class TestChunkUnifiers:
+    def test_paper_unsound_case_blocked(self):
+        # CQ Q(x) ← R(x,y), S(y) with TGD P(x') → ∃y' R(x',y'):
+        # resolving R(x,y) alone would lose the shared y — no unifier.
+        tgd = TGD((Atom("p", (XP,)),), (Atom("r", (XP, YP)),))
+        query_atoms = [Atom("r", (X, Y)), Atom("s", (Y,))]
+        unifiers = list(chunk_unifiers(query_atoms, {X}, tgd))
+        assert unifiers == []
+
+    def test_non_shared_variable_resolves(self):
+        tgd = TGD((Atom("p", (XP,)),), (Atom("r", (XP, YP)),))
+        query_atoms = [Atom("r", (X, Y))]
+        unifiers = list(chunk_unifiers(query_atoms, {X}, tgd))
+        assert len(unifiers) == 1
+        gamma = unifiers[0].gamma
+        assert gamma.apply_term(X) == gamma.apply_term(XP)
+
+    def test_output_variable_cannot_meet_existential(self):
+        tgd = TGD((Atom("p", (XP,)),), (Atom("r", (XP, YP)),))
+        query_atoms = [Atom("r", (X, Y))]
+        # y is an output variable → shared → blocked.
+        assert list(chunk_unifiers(query_atoms, {X, Y}, tgd)) == []
+
+    def test_constant_cannot_meet_existential(self):
+        tgd = TGD((Atom("p", (XP,)),), (Atom("r", (XP, YP)),))
+        query_atoms = [Atom("r", (X, a))]
+        assert list(chunk_unifiers(query_atoms, set(), tgd)) == []
+
+    def test_frontier_position_accepts_constant(self):
+        tgd = TGD((Atom("p", (XP,)),), (Atom("r", (XP, YP)),))
+        query_atoms = [Atom("r", (a, Y))]
+        unifiers = list(chunk_unifiers(query_atoms, set(), tgd))
+        assert len(unifiers) == 1
+        assert unifiers[0].gamma.apply_term(XP) == a
+
+    def test_multi_atom_chunk(self):
+        # Both R-atoms must map to the same head atom; their private
+        # variables unify with the same existential.
+        tgd = TGD((Atom("p", (XP,)),), (Atom("r", (XP, YP)),))
+        query_atoms = [Atom("r", (X, Y)), Atom("r", (X, Z))]
+        unifiers = list(chunk_unifiers(query_atoms, {X}, tgd))
+        sizes = sorted(len(u.s1) for u in unifiers)
+        # chunks {first}, {second} are blocked (y/z not shared?? they are
+        # private to each atom — but resolving one alone leaves the other
+        # in the rest, sharing x only, which is an output): so single-atom
+        # chunks ARE allowed for the atom whose private variable is not
+        # shared; the two-atom chunk is allowed as well.
+        assert 2 in sizes
+
+    def test_two_existentials_cannot_merge(self):
+        # Head R(y1', y2') with distinct existentials cannot unify with
+        # R(w, w): two fresh nulls are never equal.
+        y1, y2 = Variable("y1"), Variable("y2")
+        tgd = TGD((Atom("p", (XP,)),), (Atom("r", (y1, y2)),))
+        query_atoms = [Atom("r", (W, W))]
+        assert list(chunk_unifiers(query_atoms, set(), tgd)) == []
+
+    def test_multi_head_rejected(self):
+        tgd = TGD((Atom("p", (XP,)),), (Atom("r", (XP,)), Atom("s", (XP,))))
+        with pytest.raises(ValueError, match="single-head"):
+            list(chunk_unifiers([Atom("r", (X,))], set(), tgd))
+
+    def test_full_tgd_unrestricted(self):
+        # No existentials: any matching subset unifies.
+        tgd = TGD((Atom("e", (XP, YP)),), (Atom("t", (XP, YP)),))
+        query_atoms = [Atom("t", (X, Y)), Atom("s", (Y,))]
+        unifiers = list(chunk_unifiers(query_atoms, set(), tgd))
+        assert len(unifiers) == 1
+
+    def test_max_chunk_caps_enumeration(self):
+        tgd = TGD((Atom("e", (XP, YP)),), (Atom("t", (XP, YP)),))
+        query_atoms = [Atom("t", (X, Y)), Atom("t", (Y, Z)), Atom("t", (Z, W))]
+        all_unifiers = list(chunk_unifiers(query_atoms, set(), tgd))
+        capped = list(chunk_unifiers(query_atoms, set(), tgd, max_chunk=1))
+        assert len(capped) == 3
+        assert len(all_unifiers) > len(capped)

@@ -1,0 +1,127 @@
+"""Unit tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+TC_PROGRAM = """
+    e(a,b). e(b,c).
+    t(X,Y) :- e(X,Y).
+    t(X,Z) :- e(X,Y), t(Y,Z).
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "tc.vada"
+    path.write_text(TC_PROGRAM)
+    return path
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestClassify:
+    def test_reports_memberships(self, program_file):
+        code, output = run(["classify", str(program_file)])
+        assert code == 0
+        assert "warded:               True" in output
+        assert "piece-wise linear:    True" in output
+        assert "full (Datalog):       True" in output
+
+    def test_reports_bounds_with_query(self, program_file):
+        code, output = run(
+            ["classify", str(program_file), "--query", "q(X,Y) :- t(X,Y)."]
+        )
+        assert code == 0
+        assert "f_WARD∩PWL(q, Σ) = 8" in output
+        assert "f_WARD(q, Σ)     = 4" in output
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read"):
+            run(["classify", str(tmp_path / "nope.vada")])
+
+
+class TestAnswer:
+    def test_prints_answers(self, program_file):
+        code, output = run(
+            ["answer", str(program_file), "--query", "q(X,Y) :- t(X,Y)."]
+        )
+        assert code == 0
+        assert "(a, c)" in output
+        assert "3 certain answer(s)" in output
+
+    def test_explicit_method(self, program_file):
+        code, output = run(
+            [
+                "answer", str(program_file),
+                "--query", "q(X,Y) :- t(X,Y).",
+                "--method", "pwl",
+            ]
+        )
+        assert code == 0
+        assert "3 certain answer(s)" in output
+
+
+class TestChase:
+    def test_saturating_chase(self, program_file):
+        code, output = run(["chase", str(program_file)])
+        assert code == 0
+        assert "saturated" in output
+        assert "t(a,c)" in output
+
+    def test_truncated_chase_exit_code(self, tmp_path):
+        path = tmp_path / "runaway.vada"
+        path.write_text("""
+            p(c).
+            r(X,Z) :- p(X).
+            p(Y) :- r(X,Y).
+        """)
+        code, output = run(["chase", str(path), "--max-atoms", "20"])
+        assert code == 3
+        assert "truncated" in output
+
+
+class TestStats:
+    def test_prints_buckets(self):
+        code, output = run(["stats", "--scale", "1"])
+        assert code == 0
+        assert "directly piece-wise linear" in output
+        assert "piece-wise linear total" in output
+
+
+class TestParserErrors:
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            run(["frobnicate"])
+
+
+class TestRewrite:
+    def test_rewrites_pwl_program(self, program_file):
+        code, output = run(
+            [
+                "rewrite", str(program_file),
+                "--query", "q(X,Y) :- t(X,Y).",
+                "--width", "3",
+            ]
+        )
+        assert code == 0
+        assert "complete" in output
+        assert "→" in output          # TGDs print with the arrow form
+        assert "Answer" in output
+
+    def test_truncation_exit_code(self, program_file):
+        code, output = run(
+            [
+                "rewrite", str(program_file),
+                "--query", "q(X,Y) :- t(X,Y).",
+                "--max-states", "2",
+            ]
+        )
+        assert code == 3
+        assert "TRUNCATED" in output

@@ -1,0 +1,131 @@
+"""Unit tests for the Section 7 engine: optimizer, guides, network."""
+
+import pytest
+
+from repro.core.terms import Constant
+from repro.engine.guides import LinearForestGuide, NoGuide
+from repro.engine.operators import OperatorNetwork
+from repro.engine.optimizer import JoinOptimizer
+from repro.lang.parser import parse_program, parse_query
+
+a, b, c, d = Constant("a"), Constant("b"), Constant("c"), Constant("d")
+
+
+class TestOptimizer:
+    def test_recursive_atom_pinned_first(self):
+        program, _ = parse_program("""
+            t(X,Y) :- e(X,Y).
+            t(X,Z) :- e(X,Y), t(Y,Z).
+        """)
+        optimizer = JoinOptimizer(program, pwl_bias=True)
+        plan = optimizer.plan(program[1])
+        # body index 1 is the recursive t-atom
+        assert plan.order[0] == 1
+
+    def test_no_bias_keeps_written_order(self):
+        program, _ = parse_program("""
+            t(X,Y) :- e(X,Y).
+            t(X,Z) :- e(X,Y), t(Y,Z).
+        """)
+        optimizer = JoinOptimizer(program, pwl_bias=False)
+        assert optimizer.plan(program[1]).order == (0, 1)
+
+    def test_connectivity_ordering(self):
+        # After pinning t, the next atom should share a variable with it
+        # (e2), not the disconnected one (e1).
+        program, _ = parse_program("""
+            t(X,Z) :- e1(U,V), e2(Y,Z), t(X,Y).
+            t(X,Y) :- e2(X,Y).
+        """)
+        optimizer = JoinOptimizer(program, pwl_bias=True)
+        plan = optimizer.plan(program[0])
+        assert plan.order[0] == 2          # the recursive atom
+        assert plan.order[1] == 1          # shares Y with it
+
+    def test_plans_cover_program(self):
+        program, _ = parse_program("""
+            t(X,Y) :- e(X,Y).
+            u(X) :- t(X,Y).
+        """)
+        assert len(JoinOptimizer(program).plans()) == 2
+
+
+class TestGuides:
+    def test_no_guide_never_cuts(self):
+        guide = NoGuide()
+        assert guide.allows(0, [])
+        guide.register(0, [], [])
+
+    def test_linear_forest_terminates_recursion(self):
+        program, database = parse_program("""
+            p(c).
+            r(X,Z) :- p(X).
+            p(Y) :- r(X,Y).
+        """)
+        network = OperatorNetwork(program, guide=LinearForestGuide())
+        result = network.run(database, max_atoms=10000)
+        assert result.saturated
+        assert result.guide_cuts >= 1
+        assert len(result.instance) < 20
+
+    def test_guide_preserves_ground_atoms(self):
+        program, database = parse_program("""
+            e(a,b). e(b,c).
+            t(X,Y) :- e(X,Y).
+            t(X,Z) :- e(X,Y), t(Y,Z).
+        """)
+        guided = OperatorNetwork(program, guide=LinearForestGuide()).run(database)
+        unguided = OperatorNetwork(program).run(database)
+        query = parse_query("q(X,Y) :- t(X,Y).")
+        assert query.evaluate(guided.instance) == query.evaluate(unguided.instance)
+
+
+class TestNetwork:
+    def test_tc_fixpoint(self):
+        program, database = parse_program("""
+            e(a,b). e(b,c). e(c,d).
+            t(X,Y) :- e(X,Y).
+            t(X,Z) :- e(X,Y), t(Y,Z).
+        """)
+        result = OperatorNetwork(program).run(database)
+        assert result.saturated
+        query = parse_query("q(X,Y) :- t(X,Y).")
+        assert len(query.evaluate(result.instance)) == 6
+
+    def test_matches_seminaive(self):
+        from repro.datalog.seminaive import seminaive
+
+        program, database = parse_program("""
+            e(a,b). e(b,c). e(c,a).
+            t(X,Y) :- e(X,Y).
+            t(X,Z) :- e(X,Y), t(Y,Z).
+        """)
+        network_result = OperatorNetwork(program).run(database)
+        seminaive_result = seminaive(database, program)
+        assert network_result.instance.atoms() == seminaive_result.instance.atoms()
+
+    def test_multi_head_normalized_internally(self):
+        program, database = parse_program("""
+            p(a).
+            r(X,K), s(K) :- p(X).
+        """)
+        result = OperatorNetwork(program).run(database, max_atoms=100)
+        query = parse_query("q(X) :- r(X,W), s(W).")
+        assert query.evaluate(result.instance) == {(a,)}
+
+    def test_event_cap(self):
+        program, database = parse_program("""
+            p(c).
+            r(X,Z) :- p(X).
+            p(Y) :- r(X,Y).
+        """)
+        result = OperatorNetwork(program).run(database, max_events=5)
+        assert not result.saturated
+
+    def test_intermediate_bindings_counted(self):
+        program, database = parse_program("""
+            e(a,b). e(b,c).
+            t(X,Z) :- e(X,Y), e(Y,Z).
+        """)
+        result = OperatorNetwork(program).run(database)
+        assert result.intermediate_bindings > 0

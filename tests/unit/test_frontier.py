@@ -1,0 +1,62 @@
+"""Unit tests for the search frontier (best-first vs BFS orders)."""
+
+import pytest
+
+from repro.core.atoms import Atom
+from repro.core.terms import Variable
+from repro.reasoning.state import Frontier, State
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+def state_of_width(width: int) -> State:
+    atoms = tuple(
+        Atom(f"p{i}", (Variable(f"V{i}"),)) for i in range(width)
+    )
+    return State.make(atoms)
+
+
+class TestBestFirst:
+    def test_pops_narrowest_first(self):
+        frontier = Frontier("bestfirst")
+        wide, narrow = state_of_width(3), state_of_width(1)
+        frontier.push(wide)
+        frontier.push(narrow)
+        assert frontier.pop() == narrow
+        assert frontier.pop() == wide
+
+    def test_fifo_among_equal_widths(self):
+        frontier = Frontier("bestfirst")
+        first = State.make((Atom("a", (X,)),))
+        second = State.make((Atom("b", (X,)),))
+        frontier.push(first)
+        frontier.push(second)
+        assert frontier.pop() == first
+        assert frontier.pop() == second
+
+
+class TestBFS:
+    def test_fifo_regardless_of_width(self):
+        frontier = Frontier("bfs")
+        wide, narrow = state_of_width(3), state_of_width(1)
+        frontier.push(wide)
+        frontier.push(narrow)
+        assert frontier.pop() == wide
+        assert frontier.pop() == narrow
+
+
+class TestProtocol:
+    def test_len_and_bool(self):
+        for strategy in Frontier.STRATEGIES:
+            frontier = Frontier(strategy)
+            assert len(frontier) == 0
+            assert not frontier
+            frontier.push(state_of_width(1))
+            assert len(frontier) == 1
+            assert frontier
+            frontier.pop()
+            assert not frontier
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown search strategy"):
+            Frontier("dfs")

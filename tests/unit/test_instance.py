@@ -1,0 +1,107 @@
+"""Unit tests for instances, databases, and homomorphism search."""
+
+import pytest
+
+from repro.core.atoms import Atom
+from repro.core.homomorphism import find_homomorphism, homomorphisms
+from repro.core.instance import Database, Instance
+from repro.core.terms import Constant, Null, Variable
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+a, b, c = Constant("a"), Constant("b"), Constant("c")
+
+
+class TestInstance:
+    def test_add_and_contains(self):
+        inst = Instance()
+        assert inst.add(Atom("r", (a, b)))
+        assert not inst.add(Atom("r", (a, b)))  # duplicate
+        assert Atom("r", (a, b)) in inst
+        assert len(inst) == 1
+
+    def test_rejects_non_ground(self):
+        with pytest.raises(ValueError, match="ground"):
+            Instance().add(Atom("r", (X,)))
+
+    def test_accepts_nulls(self):
+        inst = Instance()
+        inst.add(Atom("r", (a, Null(0))))
+        assert len(inst) == 1
+
+    def test_matching_uses_pattern(self):
+        inst = Instance([Atom("r", (a, b)), Atom("r", (a, c)), Atom("r", (b, c))])
+        assert len(list(inst.matching(Atom("r", (a, X))))) == 2
+        assert len(list(inst.matching(Atom("r", (X, Y))))) == 3
+        assert len(list(inst.matching(Atom("r", (X, X))))) == 0
+
+    def test_matching_repeated_variable(self):
+        inst = Instance([Atom("r", (a, a)), Atom("r", (a, b))])
+        assert list(inst.matching(Atom("r", (X, X)))) == [Atom("r", (a, a))]
+
+    def test_active_domain(self):
+        inst = Instance([Atom("r", (a, Null(0)))])
+        assert inst.active_domain() == {a, Null(0)}
+        assert inst.constants() == {a}
+        assert inst.nulls() == {Null(0)}
+
+    def test_with_predicate(self):
+        inst = Instance([Atom("r", (a,)), Atom("s", (b,))])
+        assert inst.with_predicate("r") == {Atom("r", (a,))}
+        assert inst.with_predicate("missing") == set()
+
+    def test_copy_is_independent(self):
+        inst = Instance([Atom("r", (a,))])
+        clone = inst.copy()
+        clone.add(Atom("r", (b,)))
+        assert len(inst) == 1 and len(clone) == 2
+
+
+class TestDatabase:
+    def test_rejects_nulls(self):
+        with pytest.raises(ValueError, match="facts"):
+            Database().add(Atom("r", (Null(0),)))
+
+    def test_to_instance(self):
+        db = Database([Atom("r", (a,))])
+        inst = db.to_instance()
+        inst.add(Atom("r", (Null(0),)))  # instances may hold nulls
+        assert len(db) == 1
+
+
+class TestHomomorphisms:
+    def test_simple_match(self):
+        inst = Instance([Atom("r", (a, b))])
+        hom = find_homomorphism([Atom("r", (X, Y))], inst)
+        assert hom is not None
+        assert hom.apply_term(X) == a and hom.apply_term(Y) == b
+
+    def test_join_through_shared_variable(self):
+        inst = Instance([Atom("r", (a, b)), Atom("s", (b, c))])
+        hom = find_homomorphism([Atom("r", (X, Y)), Atom("s", (Y, Z))], inst)
+        assert hom is not None
+        assert hom.apply_term(Y) == b
+
+    def test_no_match(self):
+        inst = Instance([Atom("r", (a, b)), Atom("s", (c, c))])
+        assert find_homomorphism([Atom("r", (X, Y)), Atom("s", (Y, Z))], inst) is None
+
+    def test_constants_rigid(self):
+        inst = Instance([Atom("r", (a, b))])
+        assert find_homomorphism([Atom("r", (b, X))], inst) is None
+
+    def test_all_homomorphisms_enumerated(self):
+        inst = Instance([Atom("e", (a, b)), Atom("e", (b, c)), Atom("e", (a, c))])
+        homs = list(homomorphisms([Atom("e", (X, Y))], inst))
+        assert len(homs) == 3
+
+    def test_seed_restricts_search(self):
+        inst = Instance([Atom("e", (a, b)), Atom("e", (b, c))])
+        homs = list(homomorphisms([Atom("e", (X, Y))], inst, seed={X: b}))
+        assert len(homs) == 1
+        assert homs[0].apply_term(Y) == c
+
+    def test_non_injective_homomorphism_allowed(self):
+        inst = Instance([Atom("e", (a, a))])
+        hom = find_homomorphism([Atom("e", (X, Y))], inst)
+        assert hom is not None
+        assert hom.apply_term(X) == hom.apply_term(Y) == a

@@ -1,0 +1,84 @@
+"""Unit tests for predicate levels and node-width bounds (Section 4.2)."""
+
+from repro.analysis.levels import (
+    max_level,
+    node_width_bound_pwl,
+    node_width_bound_ward,
+    predicate_levels,
+)
+from repro.lang.parser import parse_program, parse_query
+
+
+def program_of(text: str):
+    program, _ = parse_program(text)
+    return program
+
+
+class TestLevels:
+    def test_source_predicates_have_level_one(self):
+        levels = predicate_levels(program_of("t(X,Y) :- e(X,Y)."))
+        assert levels["e"] == 1
+        assert levels["t"] == 2
+
+    def test_chain_levels_increase(self):
+        levels = predicate_levels(program_of("""
+            t(X,Y) :- e(X,Y).
+            u(X) :- t(X,Y).
+            v(X) :- u(X).
+        """))
+        assert levels == {"e": 1, "t": 2, "u": 3, "v": 4}
+
+    def test_recursive_scc_shares_external_level(self):
+        # Mutually recursive edges are excluded from the recurrence.
+        levels = predicate_levels(program_of("""
+            t(X,Y) :- e(X,Y).
+            t(X,Z) :- e(X,Y), t(Y,Z).
+        """))
+        assert levels["e"] == 1
+        assert levels["t"] == 2  # the t→t edge does not raise the level
+
+    def test_two_predicate_cycle(self):
+        levels = predicate_levels(program_of("""
+            r(X, Z) :- p(X).
+            p(Y) :- r(X, Y).
+        """))
+        # p and r are mutually recursive; neither has an external
+        # predecessor, so both sit at level 1.
+        assert levels == {"p": 1, "r": 1}
+
+    def test_level_after_recursive_block(self):
+        levels = predicate_levels(program_of("""
+            t(X,Y) :- e(X,Y).
+            t(X,Z) :- e(X,Y), t(Y,Z).
+            u(X) :- t(X,Y).
+        """))
+        assert levels["u"] == 3
+
+    def test_max_level(self):
+        assert max_level(program_of("u(X) :- t(X,Y). t(X,Y) :- e(X,Y).")) == 3
+
+
+class TestBounds:
+    def test_pwl_bound_formula(self):
+        # f = (|q|+1) · max-level · max-body.
+        program = program_of("""
+            t(X,Y) :- e(X,Y).
+            t(X,Z) :- e(X,Y), t(Y,Z).
+        """)
+        query = parse_query("q(X,Y) :- t(X,Y).")
+        assert node_width_bound_pwl(query, program) == (1 + 1) * 2 * 2
+
+    def test_ward_bound_formula(self):
+        # f = 2 · max(|q|, max-body).
+        program = program_of("""
+            t(X,Y) :- e(X,Y).
+            t(X,Z) :- t(X,Y), t(Y,Z).
+        """)
+        query = parse_query("q(X,Y) :- t(X,Y), t(Y,X), t(X,X).")
+        assert node_width_bound_ward(query, program) == 2 * 3
+
+    def test_bounds_grow_with_query(self):
+        program = program_of("t(X,Y) :- e(X,Y).")
+        q1 = parse_query("q(X) :- t(X,Y).")
+        q2 = parse_query("q(X) :- t(X,Y), t(Y,Z), t(Z,W).")
+        assert node_width_bound_pwl(q2, program) > node_width_bound_pwl(q1, program)

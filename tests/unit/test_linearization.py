@@ -1,0 +1,113 @@
+"""Unit tests for the elimination of unnecessary non-linear recursion."""
+
+from repro.analysis.linearization import find_composition_pattern, linearize
+from repro.analysis.piecewise import is_piecewise_linear
+from repro.chase.runner import chase
+from repro.lang.parser import parse_program, parse_query
+
+
+def program_of(text: str):
+    program, _ = parse_program(text)
+    return program
+
+
+class TestPatternDetection:
+    def test_tc_doubling_detected(self):
+        program = program_of("t(X,Z) :- t(X,Y), t(Y,Z).")
+        pattern = find_composition_pattern(program[0])
+        assert pattern is not None
+        left, right, split = pattern
+        assert split == 1
+
+    def test_wide_composition_detected(self):
+        # Arity-4 with a 2/2 split: T(a,b,m,n), T(m,n,c,d) → T(a,b,c,d).
+        program = program_of("t(A,B,C,D) :- t(A,B,M,N), t(M,N,C,D).")
+        pattern = find_composition_pattern(program[0])
+        assert pattern is not None
+        assert pattern[2] == 2
+
+    def test_non_composition_rejected(self):
+        # Shared first argument is not the chain shape.
+        program = program_of("t(X,Z) :- t(X,Y), t(X,Z).")
+        assert find_composition_pattern(program[0]) is None
+
+    def test_different_head_predicate_rejected(self):
+        program = program_of("s(X,Z) :- t(X,Y), t(Y,Z).")
+        assert find_composition_pattern(program[0]) is None
+
+    def test_repeated_head_variable_rejected(self):
+        program = program_of("t(X,X) :- t(X,Y), t(Y,X).")
+        assert find_composition_pattern(program[0]) is None
+
+
+class TestLinearize:
+    def test_paper_example(self):
+        # E(x,y) → T(x,y); T(x,y), T(y,z) → T(x,z)  becomes linear.
+        program = program_of("""
+            t(X,Y) :- e(X,Y).
+            t(X,Z) :- t(X,Y), t(Y,Z).
+        """)
+        assert not is_piecewise_linear(program)
+        result = linearize(program)
+        assert result.changed
+        assert result.piecewise_linear
+        assert is_piecewise_linear(result.program)
+
+    def test_semantics_preserved(self):
+        text_facts = "e(a,b). e(b,c). e(c,d). e(d,e)."
+        program, database = parse_program(text_facts + """
+            t(X,Y) :- e(X,Y).
+            t(X,Z) :- t(X,Y), t(Y,Z).
+        """)
+        result = linearize(program)
+        query = parse_query("q(X,Y) :- t(X,Y).")
+        original = chase(database, program).evaluate(query)
+        rewritten = chase(database, result.program).evaluate(query)
+        assert original == rewritten
+        assert len(original) == 10  # all ordered pairs on the 5-chain
+
+    def test_already_pwl_untouched(self):
+        program = program_of("""
+            t(X,Y) :- e(X,Y).
+            t(X,Z) :- e(X,Y), t(Y,Z).
+        """)
+        result = linearize(program)
+        assert not result.changed
+        assert result.piecewise_linear
+
+    def test_without_base_rule_not_linearizable(self):
+        program = program_of("t(X,Z) :- t(X,Y), t(Y,Z).")
+        result = linearize(program)
+        assert not result.changed
+        assert not result.piecewise_linear
+
+    def test_existential_base_blocks_unfolding(self):
+        # The base rule invents the second component; unfolding through
+        # it would change null sharing, so the procedure must refuse.
+        program = program_of("""
+            t(X,K) :- p(X).
+            t(X,Z) :- t(X,Y), t(Y,Z).
+        """)
+        result = linearize(program)
+        assert not result.piecewise_linear
+
+    def test_multiple_base_rules_unfold_to_multiple_rules(self):
+        program = program_of("""
+            t(X,Y) :- e(X,Y).
+            t(X,Y) :- f(X,Y).
+            t(X,Z) :- t(X,Y), t(Y,Z).
+        """)
+        result = linearize(program)
+        assert result.piecewise_linear
+        # the doubling rule is replaced by one rule per base rule
+        step_rules = [r for r in result.program if len(r.body) == 2]
+        assert len(step_rules) == 2
+
+    def test_non_pwl_beyond_pattern_reported(self):
+        program = program_of("""
+            t(X,Y) :- e(X,Y).
+            t(X,Z) :- t(X,Y), s(Y,Z).
+            s(X,Z) :- t(X,Y), t(Y,Z).
+        """)
+        result = linearize(program)
+        assert not result.piecewise_linear

@@ -1,0 +1,172 @@
+"""Unit tests for the OWL 2 QL application layer (Section 3)."""
+
+import pytest
+
+from repro.analysis import is_piecewise_linear, is_warded
+from repro.core.terms import Constant
+from repro.owl2ql import (
+    BGPQuery,
+    Ontology,
+    TriplePattern,
+    Var,
+    answer_bgp,
+    encode,
+    entailment_rules,
+)
+
+alice, bob, carol = Constant("alice"), Constant("bob"), Constant("carol")
+
+
+def org_ontology() -> Ontology:
+    return (
+        Ontology("org")
+        .subclass("manager", "employee")
+        .subclass("employee", "person")
+        .subproperty("manages", "worksWith")
+        .inverse("manages", "managedBy")
+        .domain("manages", "manager")
+        .range("manages", "employee")
+        .some_values("employee", "hasContract")
+        .member("alice", "manager")
+        .related("alice", "manages", "bob")
+    )
+
+
+class TestOntologyBuilder:
+    def test_fluent_api_accumulates(self):
+        onto = org_ontology()
+        assert onto.axiom_count() == 7
+        assert "person" in onto.classes()
+        assert "managedBy" in onto.properties()
+        assert onto.individuals() == {"alice", "bob"}
+
+    def test_vocabulary_from_all_axiom_shapes(self):
+        onto = Ontology().domain("p", "c").range("q", "d")
+        assert onto.classes() == {"c", "d"}
+        assert onto.properties() == {"p", "q"}
+
+
+class TestEncoding:
+    def test_rules_are_warded_pwl(self):
+        program = entailment_rules()
+        assert is_warded(program)
+        assert is_piecewise_linear(program)
+
+    def test_rules_are_ontology_independent(self):
+        first = encode(org_ontology())
+        second = encode(Ontology())
+        assert len(first.program) == len(second.program)
+
+    def test_inverse_stored_both_ways(self):
+        encoded = encode(Ontology().inverse("p", "q"))
+        inv_facts = list(encoded.database.with_predicate("inv"))
+        assert len(inv_facts) == 2
+
+    def test_abox_lands_in_type_and_triple(self):
+        encoded = encode(
+            Ontology().member("a", "c").related("a", "p", "b")
+        )
+        assert len(list(encoded.database.with_predicate("type"))) == 1
+        assert len(list(encoded.database.with_predicate("triple"))) == 1
+
+
+class TestEntailment:
+    def setup_method(self):
+        self.encoded = encode(org_ontology())
+
+    def _ask(self, *patterns, select):
+        query = BGPQuery.make(select, patterns)
+        return answer_bgp(query, self.encoded)
+
+    def test_subclass_chain(self):
+        answers = self._ask(
+            TriplePattern(Var("x"), "type", "person"), select=[Var("x")]
+        )
+        assert answers == {(alice,), (bob,)}
+
+    def test_range_inference(self):
+        answers = self._ask(
+            TriplePattern(Var("x"), "type", "employee"), select=[Var("x")]
+        )
+        # alice via manager ⊑ employee; bob via range(manages).
+        assert answers == {(alice,), (bob,)}
+
+    def test_domain_inference(self):
+        answers = self._ask(
+            TriplePattern(Var("x"), "type", "manager"), select=[Var("x")]
+        )
+        assert answers == {(alice,)}
+
+    def test_subproperty_closure(self):
+        answers = self._ask(
+            TriplePattern(Var("x"), "worksWith", Var("y")),
+            select=[Var("x"), Var("y")],
+        )
+        assert answers == {(alice, bob)}
+
+    def test_inverse_property(self):
+        answers = self._ask(
+            TriplePattern(Var("x"), "managedBy", "alice"), select=[Var("x")]
+        )
+        assert answers == {(bob,)}
+
+    def test_value_invention_is_not_an_answer(self):
+        # employee ⊑ ∃hasContract invents a contract object; the
+        # invented null must never surface as a certain answer.
+        answers = self._ask(
+            TriplePattern(Var("x"), "hasContract", Var("y")),
+            select=[Var("y")],
+        )
+        assert answers == set()
+
+    def test_value_invention_supports_boolean_patterns(self):
+        # ... but its existence is certain (Boolean projection).
+        answers = self._ask(
+            TriplePattern("bob", "hasContract", Var("y")), select=[]
+        )
+        assert answers == {()}
+
+    def test_join_across_patterns(self):
+        answers = self._ask(
+            TriplePattern(Var("x"), "manages", Var("y")),
+            TriplePattern(Var("y"), "type", "person"),
+            select=[Var("x")],
+        )
+        assert answers == {(alice,)}
+
+
+class TestBGPValidation:
+    def test_empty_bgp_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            BGPQuery.make([Var("x")], []).to_cq()
+
+    def test_unbound_select_rejected(self):
+        query = BGPQuery.make(
+            [Var("z")], [TriplePattern(Var("x"), "type", "c")]
+        )
+        with pytest.raises(ValueError, match="not bound"):
+            query.to_cq()
+
+    def test_type_patterns_compile_to_type_atoms(self):
+        cq = BGPQuery.make(
+            [Var("x")], [TriplePattern(Var("x"), "type", "c")]
+        ).to_cq()
+        assert cq.atoms[0].predicate == "type"
+
+    def test_property_patterns_compile_to_triple_atoms(self):
+        cq = BGPQuery.make(
+            [Var("x")], [TriplePattern(Var("x"), "p", "b")]
+        ).to_cq()
+        assert cq.atoms[0].predicate == "triple"
+        assert cq.atoms[0].args[1] == Constant("p")
+
+
+class TestCrossEngine:
+    def test_chase_and_pwl_agree_on_bgp(self):
+        encoded = encode(org_ontology())
+        query = BGPQuery.make(
+            [Var("x")], [TriplePattern(Var("x"), "type", "person")]
+        )
+        via_pwl = answer_bgp(query, encoded, method="pwl")
+        via_ward = answer_bgp(query, encoded, method="ward")
+        assert via_pwl == via_ward == {(alice,), (bob,)}

@@ -1,0 +1,122 @@
+"""Unit tests for the surface-syntax lexer and parser."""
+
+import pytest
+
+from repro.core.atoms import Atom
+from repro.core.terms import Constant, Variable
+from repro.lang.lexer import LexerError, TokenType, tokenize
+from repro.lang.parser import ParserError, parse_atom, parse_program, parse_query
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("t(X, a) :- e(X).")
+        kinds = [t.type for t in tokens]
+        assert kinds == [
+            TokenType.NAME, TokenType.LPAREN, TokenType.VARIABLE,
+            TokenType.COMMA, TokenType.NAME, TokenType.RPAREN,
+            TokenType.IMPLIES, TokenType.NAME, TokenType.LPAREN,
+            TokenType.VARIABLE, TokenType.RPAREN, TokenType.PERIOD,
+            TokenType.EOF,
+        ]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("% header\np(a). # trailing\n")
+        assert [t.type for t in tokens][:4] == [
+            TokenType.NAME, TokenType.LPAREN, TokenType.NAME, TokenType.RPAREN
+        ]
+
+    def test_strings_and_numbers(self):
+        tokens = tokenize('p("hello world", 42, -7).')
+        assert tokens[2].type == TokenType.STRING
+        assert tokens[2].value == "hello world"
+        assert tokens[4].type == TokenType.NUMBER
+        assert tokens[6].value == "-7"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexerError, match="unterminated"):
+            tokenize('p("oops).')
+
+    def test_illegal_character(self):
+        with pytest.raises(LexerError, match="unexpected"):
+            tokenize("p(a) & q(b).")
+
+    def test_arrow_alias(self):
+        tokens = tokenize("t(X) <- e(X).")
+        assert any(t.type == TokenType.IMPLIES for t in tokens)
+
+
+class TestParseProgram:
+    def test_facts_and_rules_separated(self):
+        program, database = parse_program("""
+            e(a, b).  e(b, c).
+            t(X, Y) :- e(X, Y).
+        """)
+        assert len(program) == 1
+        assert len(database) == 2
+
+    def test_existential_variables_inferred(self):
+        program, _ = parse_program("r(X, Z) :- p(X).")
+        assert program[0].existential_variables() == {Variable("Z")}
+
+    def test_multi_head(self):
+        program, _ = parse_program("r(X, K), s(K) :- p(X).")
+        assert len(program[0].head) == 2
+
+    def test_dont_care_variables_fresh(self):
+        program, _ = parse_program("t(X) :- e(X, _), f(_).")
+        body_vars = program[0].body_variables()
+        # X plus two distinct don't-care variables
+        assert len(body_vars) == 3
+
+    def test_numbers_and_strings_are_constants(self):
+        _, database = parse_program('p(1, "two").')
+        fact = next(iter(database))
+        assert fact.args == (Constant(1), Constant("two"))
+
+    def test_fact_with_variables_rejected(self):
+        with pytest.raises(ValueError, match="variables"):
+            parse_program("p(X).")
+
+    def test_capitalized_predicate_names(self):
+        # The paper writes SubClass(x, y); a capitalized token followed
+        # by '(' is a predicate application.
+        program, _ = parse_program("Type(X, Z) :- Type(X, Y), SubClass(Y, Z).")
+        assert program[0].head[0].predicate == "Type"
+
+    def test_missing_period(self):
+        with pytest.raises(ParserError):
+            parse_program("t(X) :- e(X)")
+
+
+class TestParseQuery:
+    def test_output_variables(self):
+        q = parse_query("q(X, Y) :- e(X, Z), e(Z, Y).")
+        assert q.output == (Variable("X"), Variable("Y"))
+        assert q.width() == 2
+
+    def test_boolean_query(self):
+        q = parse_query("q() :- e(X, Y).")
+        assert q.is_boolean()
+
+    def test_constant_in_output_rejected(self):
+        with pytest.raises(ValueError, match="must be variables"):
+            parse_query("q(a) :- e(a, Y).")
+
+    def test_output_must_be_in_body(self):
+        with pytest.raises(ValueError, match="does not occur"):
+            parse_query("q(W) :- e(X, Y).")
+
+    def test_constants_in_body(self):
+        q = parse_query("q(X) :- e(X, b).")
+        assert q.atoms[0].args[1] == Constant("b")
+
+
+class TestParseAtom:
+    def test_parse_atom(self):
+        atom = parse_atom("edge(a, B)")
+        assert atom == Atom("edge", (Constant("a"), Variable("B")))
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ValueError, match="trailing"):
+            parse_atom("edge(a) edge(b)")

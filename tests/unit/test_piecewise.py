@@ -1,0 +1,99 @@
+"""Unit tests for piece-wise linearity and related classes (Section 4/5)."""
+
+from repro.analysis.piecewise import (
+    is_intensionally_linear,
+    is_linear_datalog,
+    is_piecewise_linear,
+    piecewise_report,
+)
+from repro.benchsuite.dbpedia import example_33_program
+from repro.lang.parser import parse_program
+from repro.tiling.reduction import tiling_program
+
+
+def program_of(text: str):
+    program, _ = parse_program(text)
+    return program
+
+
+class TestPWL:
+    def test_linear_tc_is_pwl(self):
+        assert is_piecewise_linear(program_of("""
+            t(X,Y) :- e(X,Y).
+            t(X,Z) :- e(X,Y), t(Y,Z).
+        """))
+
+    def test_doubling_tc_is_not_pwl(self):
+        program = program_of("""
+            t(X,Y) :- e(X,Y).
+            t(X,Z) :- t(X,Y), t(Y,Z).
+        """)
+        assert not is_piecewise_linear(program)
+        report = piecewise_report(program)
+        assert len(report.violations()) == 1
+        _, atoms = report.violations()[0]
+        assert len(atoms) == 2
+
+    def test_example_33_is_pwl_but_not_linear(self):
+        program = example_33_program()
+        assert is_piecewise_linear(program)
+        # The Type rule joins two intensional predicates, so the set is
+        # not intensionally linear — the paper's motivation for PWL.
+        assert not is_intensionally_linear(program)
+
+    def test_nonrecursive_program_is_pwl(self):
+        assert is_piecewise_linear(program_of("""
+            t(X,Y) :- e(X,Y).
+            u(X) :- t(X,Y), t(Y,Z).
+        """))
+
+    def test_tiling_program_is_pwl(self):
+        # Theorem 5.1: the reduction lives inside PWL.
+        assert is_piecewise_linear(tiling_program())
+
+    def test_mutual_recursion_through_two_predicates(self):
+        # Each rule has one mutually recursive body atom: PWL.
+        assert is_piecewise_linear(program_of("""
+            t(X,Y) :- e(X,Y).
+            s(X,Z) :- t(X,Y), e(Y,Z).
+            t(X,Z) :- s(X,Y), e(Y,Z).
+        """))
+        # Two mutually recursive atoms in one body: not PWL.
+        assert not is_piecewise_linear(program_of("""
+            t(X,Y) :- e(X,Y).
+            s(X,Z) :- t(X,Y), t(Y,Z).
+            t(X,Z) :- s(X,Y), e(Y,Z).
+        """))
+
+
+class TestIL:
+    def test_il_counts_intensional_atoms(self):
+        # t and u are intensional; the last rule joins both.
+        program = program_of("""
+            t(X,Y) :- e(X,Y).
+            u(X,Y) :- e(Y,X).
+            v(X,Z) :- t(X,Y), u(Y,Z).
+        """)
+        assert not is_intensionally_linear(program)
+        assert is_piecewise_linear(program)  # no recursion at all
+
+    def test_linear_datalog(self):
+        linear = program_of("""
+            t(X,Y) :- e(X,Y).
+            t(X,Z) :- e(X,Y), t(Y,Z).
+        """)
+        assert is_linear_datalog(linear)
+        with_existential = program_of("r(X,Z) :- p(X).")
+        assert not is_linear_datalog(with_existential)
+
+    def test_il_subset_of_pwl(self):
+        # IL programs are PWL: sample a few shapes.
+        texts = [
+            "t(X,Y) :- e(X,Y). t(X,Z) :- e(X,Y), t(Y,Z).",
+            "r(X,Z) :- p(X). p(Y) :- r(X,Y).",
+            "a(X) :- b(X). b(X) :- e(X, Y).",
+        ]
+        for text in texts:
+            program = program_of(text)
+            if is_intensionally_linear(program):
+                assert is_piecewise_linear(program)

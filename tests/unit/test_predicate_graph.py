@@ -1,0 +1,88 @@
+"""Unit tests for the predicate graph and mutual recursion (Section 4)."""
+
+import pytest
+
+from repro.analysis.predicate_graph import PredicateGraph
+from repro.lang.parser import parse_program
+
+
+def graph_of(text: str) -> PredicateGraph:
+    program, _ = parse_program(text)
+    return PredicateGraph(program)
+
+
+class TestEdges:
+    def test_edges_from_body_to_head(self):
+        g = graph_of("t(X,Y) :- e(X,Y).")
+        assert ("e", "t") in g.edges()
+        assert ("t", "e") not in g.edges()
+
+    def test_multi_head_edges(self):
+        g = graph_of("r(X,K), s(K) :- p(X).")
+        assert {("p", "r"), ("p", "s")} <= g.edges()
+
+
+class TestMutualRecursion:
+    def test_self_loop(self):
+        g = graph_of("t(X,Z) :- t(X,Y), e(Y,Z).")
+        assert g.mutually_recursive("t", "t")
+        assert not g.mutually_recursive("e", "t")
+        assert not g.mutually_recursive("e", "e")
+
+    def test_no_cycle_no_recursion(self):
+        g = graph_of("t(X,Y) :- e(X,Y). u(X) :- t(X,Y).")
+        assert not g.mutually_recursive("t", "t")
+        assert not g.mutually_recursive("t", "u")
+        assert g.rec("t") == frozenset()
+
+    def test_two_predicate_cycle(self):
+        g = graph_of("""
+            p(Y) :- r(X, Y).
+            r(X, Z) :- p(X).
+        """)
+        assert g.mutually_recursive("p", "r")
+        assert g.mutually_recursive("p", "p")
+        assert g.rec("p") == frozenset({"p", "r"})
+
+    def test_separate_sccs_not_mutually_recursive(self):
+        # Two independent cycles: p/q and s/t.
+        g = graph_of("""
+            p(X) :- q(X).
+            q(X) :- p(X).
+            s(X) :- t(X).
+            t(X) :- s(X).
+        """)
+        assert g.mutually_recursive("p", "q")
+        assert g.mutually_recursive("s", "t")
+        assert not g.mutually_recursive("p", "s")
+
+    def test_example_33_sccs(self):
+        # In Example 3.3, Type and Triple are mutually recursive;
+        # SubClassStar cycles alone; SubClass is extensional.
+        from repro.benchsuite.dbpedia import example_33_program
+
+        g = PredicateGraph(example_33_program())
+        assert g.mutually_recursive("type", "triple")
+        assert g.mutually_recursive("subClassStar", "subClassStar")
+        assert not g.mutually_recursive("subClassStar", "type")
+        assert not g.mutually_recursive("subClass", "subClassStar")
+
+
+class TestStructure:
+    def test_has_cycle(self):
+        assert graph_of("t(X,Z) :- t(X,Y), e(Y,Z).").has_cycle()
+        assert not graph_of("t(X,Y) :- e(X,Y).").has_cycle()
+
+    def test_condensation_order_is_topological(self):
+        g = graph_of("""
+            t(X,Y) :- e(X,Y).
+            u(X)   :- t(X,Y).
+            v(X)   :- u(X).
+        """)
+        order = g.condensation_order()
+        position = {next(iter(c)): i for i, c in enumerate(order)}
+        assert position["e"] < position["t"] < position["u"] < position["v"]
+
+    def test_successors(self):
+        g = graph_of("t(X,Y) :- e(X,Y). u(X) :- e(X,X).")
+        assert g.successors("e") == frozenset({"t", "u"})

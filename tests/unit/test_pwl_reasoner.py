@@ -1,0 +1,131 @@
+"""Unit tests for the WARD ∩ PWL linear proof search (Theorem 4.8)."""
+
+import pytest
+
+from repro.core.terms import Constant
+from repro.lang.parser import parse_program, parse_query
+from repro.reasoning.pwl_ward import decide_pwl_ward
+
+a, b, c, d = Constant("a"), Constant("b"), Constant("c"), Constant("d")
+
+
+def tc_setup():
+    program, database = parse_program("""
+        e(a,b). e(b,c). e(c,d).
+        t(X,Y) :- e(X,Y).
+        t(X,Z) :- e(X,Y), t(Y,Z).
+    """)
+    query = parse_query("q(X,Y) :- t(X,Y).")
+    return program, database, query
+
+
+class TestReachability:
+    def test_positive_chain(self):
+        program, database, query = tc_setup()
+        assert decide_pwl_ward(query, (a, d), database, program).accepted
+
+    def test_direct_edge(self):
+        program, database, query = tc_setup()
+        assert decide_pwl_ward(query, (a, b), database, program).accepted
+
+    def test_negative(self):
+        program, database, query = tc_setup()
+        assert not decide_pwl_ward(query, (d, a), database, program).accepted
+
+    def test_negative_self(self):
+        program, database, query = tc_setup()
+        assert not decide_pwl_ward(query, (a, a), database, program).accepted
+
+    def test_exhaustive_specialization_agrees(self):
+        program, database, query = tc_setup()
+        for answer in [(a, d), (d, a), (b, d)]:
+            guided = decide_pwl_ward(
+                query, answer, database, program, specialization="guided"
+            ).accepted
+            exhaustive = decide_pwl_ward(
+                query, answer, database, program, specialization="exhaustive"
+            ).accepted
+            assert guided == exhaustive
+
+
+class TestExistentials:
+    def setup_method(self):
+        self.program, self.database = parse_program("""
+            p(c).
+            r(X,Z) :- p(X).
+            p(Y) :- r(X,Y).
+        """)
+
+    def test_atomic_query_over_invented_values(self):
+        query = parse_query("q(X) :- r(X,Y).")
+        assert decide_pwl_ward(query, (c,), self.database, self.program).accepted
+
+    def test_boolean_join_on_null(self):
+        # r(c,z), p(z) holds in the chase (z the invented null).
+        query = parse_query("q() :- r(X,Y), p(Y).")
+        assert decide_pwl_ward(query, (), self.database, self.program).accepted
+
+    def test_cycle_query_fails(self):
+        # The chase never creates r-cycles.
+        query = parse_query("q() :- r(X,Y), r(Y,X).")
+        assert not decide_pwl_ward(query, (), self.database, self.program).accepted
+
+    def test_deep_chain_query(self):
+        # r(c, z1), r(z1, z2): two levels of invention.
+        query = parse_query("q() :- r(X,Y), r(Y,Z).")
+        assert decide_pwl_ward(query, (), self.database, self.program).accepted
+
+
+class TestGuards:
+    def test_membership_checked(self):
+        program, database = parse_program("""
+            t(X,Y) :- e(X,Y).
+            t(X,Z) :- t(X,Y), t(Y,Z).
+        """)
+        query = parse_query("q(X,Y) :- t(X,Y).")
+        with pytest.raises(ValueError, match="piece-wise linear"):
+            decide_pwl_ward(query, (a, b), database, program)
+
+    def test_membership_check_bypass(self):
+        program, database = parse_program("""
+            e(a,b).
+            t(X,Y) :- e(X,Y).
+            t(X,Z) :- t(X,Y), t(Y,Z).
+        """)
+        query = parse_query("q(X,Y) :- t(X,Y).")
+        decision = decide_pwl_ward(
+            query, (a, b), database, program, check_membership=False
+        )
+        assert decision.accepted  # sound even outside the class
+
+    def test_non_warded_rejected(self):
+        from repro.tiling.reduction import tiling_program
+        program = tiling_program()
+        database = parse_program("tile(t1).")[1]
+        query = parse_query("q(X) :- tile(X).")
+        with pytest.raises(ValueError, match="not warded"):
+            decide_pwl_ward(query, (Constant("t1"),), database, program)
+
+
+class TestDiagnostics:
+    def test_trace_reconstructs_path(self):
+        program, database, query = tc_setup()
+        decision = decide_pwl_ward(query, (a, c), database, program, trace=True)
+        assert decision.accepted
+        assert decision.trace is not None
+        assert decision.trace[-1].is_accepting()
+        assert decision.trace[0].width() >= 1
+
+    def test_stats_populated(self):
+        program, database, query = tc_setup()
+        decision = decide_pwl_ward(query, (a, d), database, program)
+        assert decision.stats.visited >= 1
+        assert decision.stats.max_width <= decision.width_bound
+
+    def test_width_bound_override(self):
+        program, database, query = tc_setup()
+        decision = decide_pwl_ward(
+            query, (a, d), database, program, width_bound=2
+        )
+        assert decision.width_bound == 2
+        assert decision.accepted  # width 2 suffices for linear TC

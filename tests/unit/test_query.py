@@ -1,0 +1,88 @@
+"""Unit tests for conjunctive queries."""
+
+import pytest
+
+from repro.core.atoms import Atom
+from repro.core.instance import Instance
+from repro.core.query import ConjunctiveQuery
+from repro.core.terms import Constant, Null, Variable
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+a, b, c = Constant("a"), Constant("b"), Constant("c")
+
+
+class TestConstruction:
+    def test_output_must_occur_in_body(self):
+        with pytest.raises(ValueError, match="does not occur"):
+            ConjunctiveQuery((Z,), (Atom("r", (X, Y)),))
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery((), ())
+
+    def test_boolean_query(self):
+        q = ConjunctiveQuery((), (Atom("r", (X,)),))
+        assert q.is_boolean()
+
+    def test_repeated_outputs_allowed(self):
+        q = ConjunctiveQuery((X, X), (Atom("r", (X,)),))
+        assert q.output == (X, X)
+
+
+class TestEvaluation:
+    def test_evaluate_returns_constant_tuples(self):
+        inst = Instance([Atom("r", (a, b)), Atom("r", (b, c))])
+        q = ConjunctiveQuery((X, Y), (Atom("r", (X, Y)),))
+        assert q.evaluate(inst) == {(a, b), (b, c)}
+
+    def test_null_tuples_excluded(self):
+        # q(I) only contains tuples of constants (Section 2).
+        inst = Instance([Atom("r", (a, Null(0)))])
+        q = ConjunctiveQuery((X, Y), (Atom("r", (X, Y)),))
+        assert q.evaluate(inst) == set()
+        # but the Boolean version holds: the homomorphism exists
+        assert q.holds_in(inst)
+
+    def test_join_evaluation(self):
+        inst = Instance([Atom("r", (a, b)), Atom("s", (b,))])
+        q = ConjunctiveQuery((X,), (Atom("r", (X, Y)), Atom("s", (Y,))))
+        assert q.evaluate(inst) == {(a,)}
+
+    def test_boolean_empty_tuple_answer(self):
+        inst = Instance([Atom("r", (a,))])
+        q = ConjunctiveQuery((), (Atom("r", (X,)),))
+        assert q.evaluate(inst) == {()}
+
+
+class TestInstantiate:
+    def test_instantiate_substitutes_outputs(self):
+        q = ConjunctiveQuery((X,), (Atom("r", (X, Y)),))
+        atoms = q.instantiate((a,))
+        assert atoms == (Atom("r", (a, Y)),)
+
+    def test_instantiate_wrong_arity(self):
+        q = ConjunctiveQuery((X,), (Atom("r", (X, Y)),))
+        with pytest.raises(ValueError, match="expected 1"):
+            q.instantiate((a, b))
+
+    def test_instantiate_repeated_output_consistent(self):
+        q = ConjunctiveQuery((X, X), (Atom("r", (X,)),))
+        assert q.instantiate((a, a)) == (Atom("r", (a,)),)
+        with pytest.raises(ValueError, match="bound to both"):
+            q.instantiate((a, b))
+
+
+class TestStructure:
+    def test_width(self):
+        q = ConjunctiveQuery((X,), (Atom("r", (X, Y)), Atom("s", (Y,))))
+        assert q.width() == 2
+
+    def test_existential_variables(self):
+        q = ConjunctiveQuery((X,), (Atom("r", (X, Y)),))
+        assert q.existential_variables() == {Y}
+
+    def test_rename(self):
+        q = ConjunctiveQuery((X,), (Atom("r", (X, Y)),))
+        renamed = q.rename("z")
+        assert renamed.output == (Variable("X@z"),)
+        assert renamed.atoms[0].args == (Variable("X@z"), Variable("Y@z"))

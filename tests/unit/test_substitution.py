@@ -1,0 +1,70 @@
+"""Unit tests for substitutions (identity on constants, composition)."""
+
+import pytest
+
+from repro.core.atoms import Atom
+from repro.core.substitution import Substitution
+from repro.core.terms import Constant, Variable
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+a, b = Constant("a"), Constant("b")
+
+
+class TestConstruction:
+    def test_identity_on_constants_enforced(self):
+        with pytest.raises(ValueError, match="identity on constants"):
+            Substitution({a: b})
+
+    def test_constant_mapped_to_itself_allowed(self):
+        assert len(Substitution({a: a})) == 0
+
+    def test_trivial_bindings_dropped(self):
+        assert len(Substitution({X: X})) == 0
+
+
+class TestApplication:
+    def test_apply_term_outside_domain_is_identity(self):
+        subst = Substitution({X: a})
+        assert subst.apply_term(Y) == Y
+        assert subst.apply_term(b) == b
+
+    def test_apply_atom(self):
+        subst = Substitution({X: a, Y: Z})
+        assert subst.apply_atom(Atom("r", (X, Y, b))) == Atom("r", (a, Z, b))
+
+    def test_apply_atoms_preserves_order(self):
+        subst = Substitution({X: a})
+        atoms = (Atom("r", (X,)), Atom("s", (X,)))
+        assert subst.apply_atoms(atoms) == (Atom("r", (a,)), Atom("s", (a,)))
+
+
+class TestAlgebra:
+    def test_composition_order(self):
+        f = Substitution({X: Y})
+        g = Substitution({Y: a})
+        assert (g @ f).apply_term(X) == a       # g(f(X)) = g(Y) = a
+        assert (f @ g).apply_term(X) == Y       # f(g(X)) = f(X) = Y
+
+    def test_composition_keeps_outer_bindings(self):
+        f = Substitution({X: Y})
+        g = Substitution({Z: a})
+        assert (g @ f).apply_term(Z) == a
+
+    def test_restrict(self):
+        subst = Substitution({X: a, Y: b}).restrict([X])
+        assert subst.apply_term(X) == a
+        assert subst.apply_term(Y) == Y
+
+    def test_extend_conflict_raises(self):
+        subst = Substitution({X: a})
+        with pytest.raises(ValueError):
+            subst.extend(X, b)
+
+    def test_is_identity_on(self):
+        subst = Substitution({X: a})
+        assert subst.is_identity_on([Y, Z, b])
+        assert not subst.is_identity_on([X])
+
+    def test_equality_and_hash(self):
+        assert Substitution({X: a}) == Substitution({X: a})
+        assert hash(Substitution({X: a})) == hash(Substitution({X: a}))

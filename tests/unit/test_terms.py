@@ -1,0 +1,79 @@
+"""Unit tests for the term model (constants, variables, nulls)."""
+
+import pytest
+
+from repro.core.terms import (
+    Constant,
+    Null,
+    NullFactory,
+    Variable,
+    is_constant,
+    is_null,
+    is_variable,
+)
+
+
+class TestConstant:
+    def test_equality_is_structural(self):
+        assert Constant("a") == Constant("a")
+        assert Constant("a") != Constant("b")
+
+    def test_int_and_string_payloads_differ(self):
+        assert Constant(1) != Constant("1")
+
+    def test_hashable_and_usable_in_sets(self):
+        assert len({Constant("a"), Constant("a"), Constant("b")}) == 2
+
+    def test_str(self):
+        assert str(Constant("abc")) == "abc"
+        assert str(Constant(7)) == "7"
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+
+    def test_variable_never_equals_constant(self):
+        assert Variable("a") != Constant("a")
+
+    def test_str(self):
+        assert str(Variable("X")) == "X"
+
+
+class TestNull:
+    def test_equality_ignores_depth(self):
+        assert Null(3, depth=0) == Null(3, depth=5)
+        assert hash(Null(3, depth=0)) == hash(Null(3, depth=5))
+
+    def test_distinct_labels_differ(self):
+        assert Null(1) != Null(2)
+
+    def test_null_never_equals_constant_or_variable(self):
+        assert Null(1) != Constant(1)
+        assert Null(1) != Variable("1")
+
+
+class TestNullFactory:
+    def test_fresh_nulls_are_distinct(self):
+        factory = NullFactory()
+        nulls = [factory.fresh() for _ in range(100)]
+        assert len(set(nulls)) == 100
+
+    def test_depth_is_recorded(self):
+        factory = NullFactory()
+        assert factory.fresh(depth=4).depth == 4
+
+    def test_start_offset(self):
+        factory = NullFactory(start=10)
+        assert factory.fresh().label == 10
+
+
+class TestPredicates:
+    def test_kind_predicates(self):
+        assert is_constant(Constant("a"))
+        assert not is_constant(Variable("a"))
+        assert is_variable(Variable("X"))
+        assert not is_variable(Null(0))
+        assert is_null(Null(0))
+        assert not is_null(Constant(0))

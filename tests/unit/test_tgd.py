@@ -1,0 +1,123 @@
+"""Unit tests for TGDs and the single-head normal form."""
+
+import pytest
+
+from repro.core.atoms import Atom
+from repro.core.program import Program
+from repro.core.terms import Constant, Variable
+from repro.core.tgd import TGD, single_head_program_atoms
+
+X, Y, Z, W = Variable("X"), Variable("Y"), Variable("Z"), Variable("W")
+
+
+def tgd(body, head, label=""):
+    return TGD(tuple(body), tuple(head), label=label)
+
+
+class TestTGDStructure:
+    def test_frontier_and_existentials(self):
+        t = tgd([Atom("p", (X, Y))], [Atom("r", (X, Z))])
+        assert t.frontier() == {X}
+        assert t.existential_variables() == {Z}
+        assert t.body_variables() == {X, Y}
+
+    def test_is_full(self):
+        assert tgd([Atom("p", (X,))], [Atom("r", (X,))]).is_full()
+        assert not tgd([Atom("p", (X,))], [Atom("r", (X, Z))]).is_full()
+
+    def test_empty_body_or_head_rejected(self):
+        with pytest.raises(ValueError):
+            TGD((), (Atom("r", (X,)),))
+        with pytest.raises(ValueError):
+            TGD((Atom("r", (X,)),), ())
+
+    def test_rename_is_uniform(self):
+        t = tgd([Atom("p", (X, Y))], [Atom("r", (X, Z))])
+        renamed = t.rename("7")
+        assert renamed.body[0].args[0] == Variable("X@7")
+        # frontier structure preserved
+        assert len(renamed.frontier()) == 1
+        assert len(renamed.existential_variables()) == 1
+
+    def test_validate_rejects_constants_by_default(self):
+        t = tgd([Atom("p", (Constant("a"),))], [Atom("r", (X,))])
+        with pytest.raises(ValueError, match="constant"):
+            t.validate()
+        t.validate(allow_constants=True)  # no raise
+
+    def test_label_not_part_of_identity(self):
+        t1 = tgd([Atom("p", (X,))], [Atom("r", (X,))], label="one")
+        t2 = tgd([Atom("p", (X,))], [Atom("r", (X,))], label="two")
+        assert t1 == t2
+
+
+class TestSingleHead:
+    def test_single_head_passthrough(self):
+        t = tgd([Atom("p", (X,))], [Atom("r", (X,))])
+        assert single_head_program_atoms([t]) == [t]
+
+    def test_multi_head_split(self):
+        t = tgd([Atom("p", (X, Y))], [Atom("r", (X, Z)), Atom("s", (Z, Y))])
+        result = single_head_program_atoms([t])
+        assert len(result) == 3
+        aux_rule = result[0]
+        assert aux_rule.head[0].predicate.startswith("Aux")
+        # the auxiliary atom carries frontier + existential variables
+        assert set(aux_rule.head[0].args) == {X, Y, Z}
+        # each projection reproduces one original head atom
+        projected = {r.head[0].predicate for r in result[1:]}
+        assert projected == {"r", "s"}
+
+    def test_single_head_preserves_certain_answers(self):
+        from repro.chase.runner import chase
+        from repro.core.instance import Database
+        from repro.lang.parser import parse_query
+
+        a = Constant("a")
+        t = tgd([Atom("p", (X,))], [Atom("r", (X, Z)), Atom("s", (Z,))])
+        program = Program([t])
+        database = Database([Atom("p", (a,))])
+        query = parse_query("q(X) :- r(X, W), s(W).")
+        direct = chase(database, program).evaluate(query)
+        normalized = chase(database, program.single_head()).evaluate(query)
+        assert direct == normalized == {(a,)}
+
+    def test_program_single_head_idempotent(self):
+        t = tgd([Atom("p", (X,))], [Atom("r", (X,))])
+        program = Program([t])
+        assert program.single_head() is program
+
+
+class TestProgram:
+    def test_schema(self):
+        program = Program([tgd([Atom("p", (X,))], [Atom("r", (X, Z))])])
+        assert program.schema() == {"p": 1, "r": 2}
+
+    def test_edb_idb_split(self):
+        program = Program(
+            [
+                tgd([Atom("e", (X, Y))], [Atom("t", (X, Y))]),
+                tgd([Atom("t", (X, Y))], [Atom("u", (X,))]),
+            ]
+        )
+        assert program.extensional_predicates() == {"e"}
+        assert program.intensional_predicates() == {"t", "u"}
+
+    def test_max_body_size(self):
+        program = Program(
+            [
+                tgd([Atom("e", (X, Y))], [Atom("t", (X, Y))]),
+                tgd([Atom("e", (X, Y)), Atom("t", (Y, Z))], [Atom("t", (X, Z))]),
+            ]
+        )
+        assert program.max_body_size() == 2
+
+    def test_arity_conflict_rejected(self):
+        program = Program(
+            [
+                tgd([Atom("e", (X,))], [Atom("t", (X,))]),
+                tgd([Atom("e", (X, Y))], [Atom("t", (X,))]),
+            ]
+        )
+        with pytest.raises(ValueError, match="arities"):
+            program.schema()

@@ -1,0 +1,130 @@
+"""Unit tests for the Section 5 tiling machinery."""
+
+import pytest
+
+from repro.tiling.reduction import (
+    build_reduction,
+    reduction_class_profile,
+    reduction_holds_within,
+    tiling_program,
+    tiling_query,
+)
+from repro.tiling.solver import enumerate_rows, find_tiling, has_tiling_within
+from repro.tiling.system import TilingSystem, is_valid_tiling
+
+
+def simple_solvable() -> TilingSystem:
+    return TilingSystem.make(
+        tiles={"a", "b", "r"},
+        left={"a", "b"},
+        right={"r"},
+        horizontal={("a", "r"), ("b", "r")},
+        vertical={("a", "b"), ("r", "r"), ("a", "a"), ("b", "b")},
+        start="a",
+        finish="b",
+    )
+
+
+def simple_unsolvable() -> TilingSystem:
+    return TilingSystem.make(
+        tiles={"a", "b", "r"},
+        left={"a", "b"},
+        right={"r"},
+        horizontal={("a", "r"), ("b", "r")},
+        vertical={("a", "a"), ("r", "r")},
+        start="a",
+        finish="b",
+    )
+
+
+class TestTilingSystem:
+    def test_left_right_disjoint(self):
+        with pytest.raises(ValueError, match="disjoint"):
+            TilingSystem.make(
+                tiles={"a"}, left={"a"}, right={"a"},
+                horizontal=set(), vertical=set(), start="a", finish="a",
+            )
+
+    def test_unknown_tiles_rejected(self):
+        with pytest.raises(ValueError, match="not declared"):
+            TilingSystem.make(
+                tiles={"a"}, left=set(), right={"z"},
+                horizontal=set(), vertical=set(), start="a", finish="a",
+            )
+
+    def test_is_valid_tiling(self):
+        system = simple_solvable()
+        assert is_valid_tiling(system, [("a", "r"), ("b", "r")])
+        # wrong finish tile
+        assert not is_valid_tiling(system, [("a", "r"), ("a", "r")])
+        # horizontal violation
+        assert not is_valid_tiling(system, [("a", "a")])
+        # ragged rows
+        assert not is_valid_tiling(system, [("a", "r"), ("b",)])
+
+
+class TestSolver:
+    def test_enumerate_rows(self):
+        system = simple_solvable()
+        rows = list(enumerate_rows(system, 2, ["a"]))
+        assert rows == [("a", "r")]
+
+    def test_find_tiling_solvable(self):
+        tiling = find_tiling(simple_solvable(), 3, 3)
+        assert tiling is not None
+        assert is_valid_tiling(simple_solvable(), tiling)
+
+    def test_find_tiling_unsolvable(self):
+        assert find_tiling(simple_unsolvable(), 3, 4) is None
+
+    def test_single_row_tiling_when_start_is_finish(self):
+        system = TilingSystem.make(
+            tiles={"a", "r"}, left={"a"}, right={"r"},
+            horizontal={("a", "r")}, vertical=set(), start="a", finish="a",
+        )
+        tiling = find_tiling(system, 2, 1)
+        assert tiling == [("a", "r")]
+
+
+class TestReduction:
+    def test_class_profile(self):
+        # Theorem 5.1: Σ ∈ PWL and Σ ∉ WARD.
+        pwl, warded = reduction_class_profile()
+        assert pwl and not warded
+
+    def test_program_and_query_fixed(self):
+        # Σ and q do not depend on the tiling system.
+        assert len(tiling_program()) == 6
+        assert tiling_query().is_boolean()
+
+    def test_database_encodes_system(self):
+        system = simple_solvable()
+        reduction = build_reduction(system)
+        predicates = reduction.database.predicates()
+        assert predicates == {
+            "tile", "le", "right", "h", "v", "start", "finish"
+        }
+
+    def test_agreement_on_solvable(self):
+        red, direct = reduction_holds_within(simple_solvable(), 3, 3)
+        assert red is True and direct is True
+
+    def test_agreement_on_unsolvable(self):
+        red, direct = reduction_holds_within(simple_unsolvable(), 3, 4)
+        assert red is False and direct is False
+
+    def test_wider_tiling_needs_wider_bound(self):
+        # A system whose only tiling is 3 wide: a → m → r rows.
+        system = TilingSystem.make(
+            tiles={"a", "b", "m", "r"},
+            left={"a", "b"},
+            right={"r"},
+            horizontal={("a", "m"), ("b", "m"), ("m", "r")},
+            vertical={("a", "b"), ("m", "m"), ("r", "r")},
+            start="a",
+            finish="b",
+        )
+        red, direct = reduction_holds_within(system, 3, 2)
+        assert red is True and direct is True
+        # with insufficient width budget the solver finds nothing
+        assert not has_tiling_within(system, 2, 2)

@@ -1,0 +1,86 @@
+"""Unit tests for wardedness (Definition 3.1)."""
+
+from repro.analysis.wardedness import is_warded, wardedness_report
+from repro.benchsuite.dbpedia import example_33_program
+from repro.lang.parser import parse_program
+from repro.tiling.reduction import tiling_program
+
+
+def program_of(text: str):
+    program, _ = parse_program(text)
+    return program
+
+
+class TestWarded:
+    def test_datalog_is_warded(self):
+        # Full TGDs have no harmful variables at all.
+        assert is_warded(program_of("""
+            t(X,Y) :- e(X,Y).
+            t(X,Z) :- t(X,Y), t(Y,Z).
+        """))
+
+    def test_paper_core_example_is_warded(self):
+        assert is_warded(program_of("""
+            r(X, Z) :- p(X).
+            p(Y) :- r(X, Y).
+        """))
+
+    def test_example_33_is_warded_with_expected_wards(self):
+        report = wardedness_report(example_33_program())
+        assert report.warded
+        # The rules that need wards are exactly those with a dangerous
+        # frontier variable at type[1]/triple[1]/triple[3]; the ward is
+        # the type/triple body atom (the underlined atoms in the paper).
+        needing = [info for info in report.per_tgd if info.needs_ward]
+        assert len(needing) == 4
+        for info in needing:
+            assert info.ward is not None
+            assert info.ward.predicate in {"type", "triple"}
+
+    def test_single_rule_with_existential_is_warded(self):
+        assert is_warded(program_of("r(X, Z) :- p(X)."))
+
+
+class TestNotWarded:
+    def test_dangerous_variables_in_two_atoms(self):
+        # Both x and x' are dangerous but never co-occur in one atom.
+        program = program_of("""
+            r(X, Z) :- p(X).
+            s(X, Y) :- r(W, X), r(V, Y).
+        """)
+        assert not is_warded(program)
+        report = wardedness_report(program)
+        violations = report.violations()
+        assert len(violations) == 1
+        assert "single body atom" in violations[0].failure
+
+    def test_harmful_join_with_ward(self):
+        # X is dangerous and r(X,Y) would be the ward, but it shares Y
+        # with p(Y), and Y is harmful (it occurs only at affected
+        # positions r[2] and p[1]) — a harmful join, hence not warded.
+        program = program_of("""
+            r(X, Z) :- p(X).
+            p(Y) :- r(X, Y).
+            s(X) :- r(X, Y), p(Y).
+        """)
+        assert not is_warded(program)
+        report = wardedness_report(program)
+        assert any(
+            "harmful join" in info.failure for info in report.violations()
+        )
+
+    def test_tiling_program_is_not_warded(self):
+        # Theorem 5.1 relies on the reduction program being outside WARD.
+        assert not is_warded(tiling_program())
+
+
+class TestReport:
+    def test_report_covers_every_tgd(self):
+        program = example_33_program()
+        report = wardedness_report(program)
+        assert len(report.per_tgd) == len(program)
+
+    def test_rules_without_dangerous_variables_need_no_ward(self):
+        report = wardedness_report(program_of("t(X,Y) :- e(X,Y)."))
+        assert not report.per_tgd[0].needs_ward
+        assert report.per_tgd[0].warded
