@@ -29,11 +29,12 @@ from typing import Deque, Dict, Optional, Sequence, Set
 
 from ..core.atoms import Atom
 from ..core.homomorphism import find_homomorphism
-from ..core.instance import Database, Instance
+from ..core.instance import Database
 from ..core.program import Program
 from ..core.query import ConjunctiveQuery
 from ..core.substitution import Substitution
 from ..core.terms import Constant, NullFactory, Term, Variable
+from ..storage import FactStore, StoreChoice, make_store
 from .graph import ChaseGraph
 from .termination import AlwaysFire, TerminationPolicy
 from .trigger import Trigger, all_triggers, fire, triggers_for_new_atom
@@ -43,9 +44,13 @@ __all__ = ["ChaseResult", "chase", "chase_answers"]
 
 @dataclass
 class ChaseResult:
-    """Outcome of a chase run."""
+    """Outcome of a chase run.
 
-    instance: Instance
+    ``instance`` is whichever :class:`FactStore` backend the run was
+    asked to materialize into (an :class:`Instance` by default).
+    """
+
+    instance: FactStore
     saturated: bool                 # True iff no applicable trigger remained
     fired: int                      # number of triggers that fired
     suppressed: int                 # triggers withheld by the policy
@@ -57,7 +62,7 @@ class ChaseResult:
         return query.evaluate(self.instance)
 
 
-def _head_already_satisfied(trigger: Trigger, instance: Instance) -> bool:
+def _head_already_satisfied(trigger: Trigger, instance: FactStore) -> bool:
     """Restricted-chase check: does h|frontier extend to the head in I?"""
     frontier = trigger.tgd.frontier()
     seed: Dict[Variable, Term] = {
@@ -76,6 +81,7 @@ def chase(
     max_atoms: Optional[int] = None,
     record_graph: bool = False,
     null_factory: Optional[NullFactory] = None,
+    store: StoreChoice = "instance",
 ) -> ChaseResult:
     """Run a fair chase of *database* under *program*.
 
@@ -84,12 +90,16 @@ def chase(
     eventually considered.  ``max_steps`` bounds fired triggers and
     ``max_atoms`` bounds the instance size; hitting either limit returns
     ``saturated=False``.
+
+    ``store`` selects the materialization backend (see
+    :data:`repro.storage.BACKENDS`); every backend yields the same chase
+    up to the representation of the instance.
     """
     if variant not in ("restricted", "oblivious"):
         raise ValueError(f"unknown chase variant {variant!r}")
     policy = policy or AlwaysFire()
     factory = null_factory or NullFactory()
-    instance = database.to_instance()
+    instance = make_store(store, database)
     graph = ChaseGraph() if record_graph else None
     if graph is not None:
         for atom in instance:

@@ -37,6 +37,7 @@ from .analysis import (
 from .chase import chase
 from .lang.parser import parse_program, parse_query
 from .reasoning import certain_answers
+from .storage import BACKENDS
 
 __all__ = ["main", "build_parser"]
 
@@ -73,6 +74,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("auto", "datalog", "pwl", "ward", "chase"),
         help="engine selection (default: dispatch on the program class)",
     )
+    answer.add_argument(
+        "--store",
+        default="instance",
+        choices=BACKENDS,
+        help="fact-storage backend for materializing engines "
+             "(default: instance)",
+    )
 
     chase_cmd = commands.add_parser(
         "chase", help="run the restricted chase and print the instance"
@@ -81,6 +89,16 @@ def build_parser() -> argparse.ArgumentParser:
     chase_cmd.add_argument(
         "--max-atoms", type=int, default=10000,
         help="instance-size budget (default 10000)",
+    )
+    chase_cmd.add_argument(
+        "--store",
+        default="instance",
+        choices=BACKENDS,
+        help="fact-storage backend (default: instance)",
+    )
+    chase_cmd.add_argument(
+        "--memory-report", action="store_true",
+        help="print the store's per-component byte accounting",
     )
 
     stats = commands.add_parser(
@@ -152,7 +170,7 @@ def _cmd_answer(args, out) -> int:
     program, database = _load(args.file)
     query = parse_query(args.query)
     answers = certain_answers(
-        query, database, program, method=args.method
+        query, database, program, method=args.method, store=args.store
     )
     for row in sorted(answers, key=str):
         print("(" + ", ".join(str(c) for c in row) + ")", file=out)
@@ -163,7 +181,8 @@ def _cmd_answer(args, out) -> int:
 def _cmd_chase(args, out) -> int:
     program, database = _load(args.file)
     result = chase(
-        database, program, variant="restricted", max_atoms=args.max_atoms
+        database, program, variant="restricted", max_atoms=args.max_atoms,
+        store=args.store,
     )
     for atom in sorted(result.instance, key=str):
         print(atom, file=out)
@@ -172,6 +191,8 @@ def _cmd_chase(args, out) -> int:
         f"-- {len(result.instance)} atoms, {result.fired} firings, {status}",
         file=out,
     )
+    if args.memory_report:
+        print(f"-- {result.instance.memory_report()}", file=out)
     return 0 if result.saturated else 3
 
 

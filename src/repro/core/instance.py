@@ -6,19 +6,26 @@ possibly growing) set of atoms containing constants and nulls; a
 (Section 2).  Both are backed by per-predicate and per-(position, term)
 indexes so that the chase, homomorphism search, and the reasoning
 algorithms can retrieve matching atoms without scanning.
+
+``Instance`` is the reference implementation of the
+:class:`~repro.storage.base.FactStore` interface: the engines are
+written against that interface, and alternative backends (columnar,
+delta-overlay — see :mod:`repro.storage`) are drop-in replacements.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Optional, Set
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Set
 
+from ..storage.base import FactStore, MemoryReport
+from ..storage.memory import deep_sizeof
 from .atoms import Atom, schema_of
-from .terms import Constant, Null, Term, Variable
+from .terms import Constant, Null, Term
 
 __all__ = ["Instance", "Database"]
 
 
-class Instance:
+class Instance(FactStore):
     """A mutable set of ground atoms (constants and nulls) with indexes.
 
     The two indexes are:
@@ -27,6 +34,8 @@ class Instance:
     * position index — (predicate, position, term) → set of atoms, used
       to seed homomorphism search and trigger matching with bound values.
     """
+
+    backend_name = "instance"
 
     def __init__(self, atoms: Iterable[Atom] = ()):
         self._atoms: Set[Atom] = set()
@@ -72,47 +81,54 @@ class Instance:
         """All atoms whose predicate is *predicate* (live view copy)."""
         return set(self._by_predicate.get(predicate, ()))
 
+    def by_predicate(self, predicate: str) -> Iterator[Atom]:
+        """All atoms whose predicate is *predicate* (FactStore form)."""
+        return iter(self.with_predicate(predicate))
+
+    def count(self, predicate: Optional[str] = None) -> int:
+        """Number of stored atoms, optionally restricted to a predicate."""
+        if predicate is None:
+            return len(self._atoms)
+        return len(self._by_predicate.get(predicate, ()))
+
     def predicates(self) -> set[str]:
         """All predicate names with at least one atom."""
         return {p for p, s in self._by_predicate.items() if s}
 
-    def matching(self, atom: Atom) -> Iterator[Atom]:
-        """Yield stored atoms that could match the (possibly non-ground)
-        pattern *atom*: same predicate, agreeing on every ground argument.
+    def matching_bound(
+        self,
+        predicate: str,
+        bound: Mapping[int, Term],
+        arity: Optional[int] = None,
+    ) -> Iterator[Atom]:
+        """Atoms of *predicate* agreeing with every bound (1-based) position.
 
         Uses the most selective available position index; falls back to
-        the predicate index when the pattern has no ground argument.
+        the predicate index when *bound* is empty.
         """
         candidates: Optional[Set[Atom]] = None
-        for i, term in enumerate(atom.args, start=1):
-            if isinstance(term, Variable):
-                continue
-            bucket = self._by_position.get((atom.predicate, i, term), set())
+        for position, term in bound.items():
+            bucket = self._by_position.get((predicate, position, term), set())
             if candidates is None or len(bucket) < len(candidates):
                 candidates = bucket
             if not bucket:
                 return
         if candidates is None:
-            candidates = self._by_predicate.get(atom.predicate, set())
-        for stored in candidates:
-            if self._agrees(atom, stored):
+            candidates = self._by_predicate.get(predicate, set())
+        # Snapshot: the interface allows callers to add while consuming.
+        for stored in tuple(candidates):
+            if arity is not None and stored.arity != arity:
+                continue
+            if all(
+                position <= stored.arity
+                and stored.args[position - 1] == term
+                for position, term in bound.items()
+            ):
                 yield stored
 
-    @staticmethod
-    def _agrees(pattern: Atom, stored: Atom) -> bool:
-        if pattern.predicate != stored.predicate or pattern.arity != stored.arity:
-            return False
-        bound: dict[Variable, Term] = {}
-        for p_term, s_term in zip(pattern.args, stored.args):
-            if isinstance(p_term, Variable):
-                seen = bound.get(p_term)
-                if seen is None:
-                    bound[p_term] = s_term
-                elif seen != s_term:
-                    return False
-            elif p_term != s_term:
-                return False
-        return True
+    # ``matching`` (pattern form, repeated variables respected) is
+    # inherited from FactStore and derives from matching_bound, so the
+    # match semantics live in exactly one place (storage.base).
 
     def active_domain(self) -> set[Term]:
         """``dom(I)``: every constant and null occurring in the instance."""
@@ -136,6 +152,24 @@ class Instance:
     def copy(self) -> "Instance":
         """An independent copy sharing no mutable state."""
         return Instance(self._atoms)
+
+    def memory_report(self, seen: Optional[set[int]] = None) -> MemoryReport:
+        """Byte accounting: atom payload vs the two eager indexes."""
+        if seen is None:
+            seen = set()
+        atoms_bytes = deep_sizeof(self._atoms, seen)
+        predicate_bytes = deep_sizeof(self._by_predicate, seen)
+        position_bytes = deep_sizeof(self._by_position, seen)
+        return MemoryReport(
+            backend=self.backend_name,
+            atom_count=len(self._atoms),
+            term_count=len(self.active_domain()),
+            components={
+                "atoms": atoms_bytes,
+                "predicate_index": predicate_bytes,
+                "position_index": position_bytes,
+            },
+        )
 
     def __repr__(self) -> str:
         return f"Instance({len(self._atoms)} atoms)"

@@ -22,12 +22,13 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from ..core.atoms import Atom
 from ..core.homomorphism import homomorphisms
-from ..core.instance import Database, Instance
+from ..core.instance import Database
 from ..core.program import Program
 from ..core.query import ConjunctiveQuery
 from ..core.substitution import Substitution
 from ..core.terms import Constant, Term, Variable
 from ..core.tgd import TGD
+from ..storage import ColumnarStore, DeltaOverlay, FactStore, StoreChoice, make_store
 
 __all__ = ["SemiNaiveResult", "seminaive", "datalog_answers"]
 
@@ -36,7 +37,7 @@ __all__ = ["SemiNaiveResult", "seminaive", "datalog_answers"]
 class SemiNaiveResult:
     """The least fixpoint, with evaluation statistics."""
 
-    instance: Instance
+    instance: FactStore
     rounds: int
     derived: int            # facts added beyond the database
     considered: int         # body matches examined (work measure)
@@ -64,8 +65,8 @@ def _check_datalog(program: Program) -> None:
 
 def _delta_matches(
     tgd: TGD,
-    instance: Instance,
-    delta: Instance,
+    instance: FactStore,
+    delta: FactStore,
 ) -> Iterable[Substitution]:
     """Body matches that use at least one delta atom.
 
@@ -77,7 +78,7 @@ def _delta_matches(
     for pin_index in range(len(body)):
         pinned = body[pin_index]
         others = body[:pin_index] + body[pin_index + 1:]
-        for delta_atom in delta.with_predicate(pinned.predicate):
+        for delta_atom in delta.by_predicate(pinned.predicate):
             seed: Dict[Variable, Term] = {}
             compatible = True
             for p_term, d_term in zip(pinned.args, delta_atom.args):
@@ -107,11 +108,32 @@ def seminaive(
     database: Database,
     program: Program,
     max_rounds: Optional[int] = None,
+    *,
+    store: StoreChoice = "instance",
 ) -> SemiNaiveResult:
-    """Compute the least fixpoint of a Datalog program over a database."""
+    """Compute the least fixpoint of a Datalog program over a database.
+
+    ``store`` selects the storage backend (see
+    :data:`repro.storage.BACKENDS`).  The ``"delta"`` backend runs on a
+    single :class:`~repro.storage.delta.DeltaOverlay` whose writable
+    layer *is* the semi-naive delta, promoted at each round boundary;
+    the other backends keep the classic two-store structure.  All
+    backends perform the identical round structure and derivations.
+    """
     _check_datalog(program)
-    instance = database.to_instance()
-    delta = Instance(database)
+    if store == "delta":
+        # One overlay plays both roles: its writable layer *is* the
+        # round's delta, promoted into the (columnar) base at each
+        # round boundary.
+        overlay: Optional[DeltaOverlay] = DeltaOverlay(ColumnarStore())
+        overlay.add_all(database)
+        instance: FactStore = overlay
+        delta: FactStore = overlay.delta
+    else:
+        overlay = None
+        instance = make_store(store, database)
+        delta = instance.fresh()
+        delta.add_all(database)
     rounds = 0
     derived = 0
     considered = 0
@@ -123,7 +145,8 @@ def seminaive(
             break
         rounds += 1
         round_considered = 0
-        new_delta = Instance()
+        staged: List[Atom] = []
+        staged_set: set[Atom] = set()
         for tgd in program:
             head = tgd.head[0]
             for hom in _delta_matches(tgd, instance, delta):
@@ -133,18 +156,24 @@ def seminaive(
                     raise ValueError(
                         f"rule {tgd} produced non-ground fact {fact}"
                     )
-                if fact not in instance and fact not in new_delta:
-                    new_delta.add(fact)
+                if fact not in instance and fact not in staged_set:
+                    staged_set.add(fact)
+                    staged.append(fact)
                     derived += 1
         # Merge only after the full round: every rule joins against the
         # same snapshot, so rounds/considered are independent of rule
         # and hash iteration order.
-        for fact in new_delta:
-            instance.add(fact)
+        if overlay is not None:
+            overlay.promote()
+            overlay.add_all(staged)
+            delta = overlay.delta
+        else:
+            instance.add_all(staged)
+            delta = delta.fresh()
+            delta.add_all(staged)
         considered += round_considered
         per_round_considered.append(round_considered)
-        per_round_derived.append(len(new_delta))
-        delta = new_delta
+        per_round_derived.append(len(staged))
 
     return SemiNaiveResult(
         instance=instance,
@@ -160,6 +189,8 @@ def datalog_answers(
     query: ConjunctiveQuery,
     database: Database,
     program: Program,
+    *,
+    store: StoreChoice = "instance",
 ) -> set[tuple[Constant, ...]]:
     """``cert(q, D, Σ)`` for a Datalog program: evaluate over the fixpoint."""
-    return seminaive(database, program).evaluate(query)
+    return seminaive(database, program, store=store).evaluate(query)

@@ -26,10 +26,11 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.atoms import Atom
-from ..core.instance import Database, Instance
+from ..core.instance import Database
 from ..core.program import Program
 from ..core.terms import Null, NullFactory, Term, Variable
 from ..core.tgd import TGD
+from ..storage import FactStore, StoreChoice, make_store
 from .guides import LinearForestGuide, NoGuide
 from .optimizer import JoinOptimizer, JoinPlan
 
@@ -40,7 +41,7 @@ __all__ = ["EngineResult", "OperatorNetwork"]
 class EngineResult:
     """Outcome of one network run."""
 
-    instance: Instance
+    instance: FactStore
     saturated: bool
     events: int                 # delta atoms routed through the network
     derived: int                # new atoms produced
@@ -96,7 +97,7 @@ class OperatorNetwork:
         self,
         node: _RuleNode,
         delta_atom: Atom,
-        instance: Instance,
+        instance: FactStore,
         counters: List[int],
     ) -> List[Dict[Variable, Term]]:
         """All body matches of the node using *delta_atom* at the pin."""
@@ -159,9 +160,14 @@ class OperatorNetwork:
         *,
         max_atoms: Optional[int] = None,
         max_events: Optional[int] = None,
+        store: StoreChoice = "instance",
     ) -> EngineResult:
-        """Stream the database through the network to (bounded) fixpoint."""
-        instance = database.to_instance()
+        """Stream the database through the network to (bounded) fixpoint.
+
+        ``store`` selects the backing :class:`FactStore` the network
+        materializes into (see :data:`repro.storage.BACKENDS`).
+        """
+        instance = make_store(store, database)
         queue: Deque[Atom] = deque(instance)
         events = 0
         derived = 0

@@ -137,7 +137,11 @@ def certain_answers(
     :class:`AnswerReport` is returned instead of the bare answer set.
     Engine keyword arguments (``width_bound``, ``specialization``,
     ``max_depth``, ...) are forwarded to the decision engines.
+    ``store`` selects the fact-storage backend for the materializing
+    methods (``"datalog"`` and ``"chase"``); the proof-tree engines hold
+    bounded CQs, not instances, so they ignore it.
     """
+    store = engine_kwargs.pop("store", "instance")
     if method == "auto":
         if program.is_full() and program.is_single_head():
             method = "datalog"
@@ -147,7 +151,7 @@ def certain_answers(
             method = "chase"
 
     if method == "datalog":
-        answers = datalog_answers(query, database, program)
+        answers = datalog_answers(query, database, program, store=store)
         result = AnswerReport(answers=answers, method="datalog")
         return result if report else result.answers
 
@@ -158,6 +162,7 @@ def certain_answers(
             variant="restricted",
             max_atoms=engine_kwargs.pop("max_atoms", 200000),
             max_steps=engine_kwargs.pop("max_steps", 400000),
+            store=store,
         )
         if not chase_result.saturated:
             raise UnsupportedProgramError(

@@ -1,0 +1,74 @@
+"""Pluggable fact-storage backends (the record-manager layer).
+
+The engines — chase runner, operator network, semi-naive evaluation —
+are written against the :class:`FactStore` interface and accept a
+``store=`` argument naming a backend:
+
+* ``"instance"`` — :class:`repro.core.instance.Instance`, the original
+  object-set representation with eager per-(position, term) indexes;
+* ``"columnar"`` — :class:`ColumnarStore`, interned term-id tuples with
+  lazy per-(predicate, position) indexes and an LRU probe cache;
+* ``"delta"`` — :class:`DeltaOverlay` over a columnar base: a small
+  writable delta above a frozen base, with ``promote()`` merging.
+
+All backends produce identical answers (the property suite asserts
+this); they differ in space and probe cost, which
+:meth:`FactStore.memory_report` makes measurable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Union
+
+from ..core.atoms import Atom
+from .base import FactStore, MemoryReport
+from .columnar import ColumnarStore
+from .delta import DeltaOverlay
+from .interning import TermTable
+from .memory import deep_sizeof, traced_peak
+
+__all__ = [
+    "FactStore",
+    "MemoryReport",
+    "ColumnarStore",
+    "DeltaOverlay",
+    "TermTable",
+    "deep_sizeof",
+    "traced_peak",
+    "BACKENDS",
+    "StoreChoice",
+    "make_store",
+]
+
+#: Backend names accepted by ``make_store`` and every ``store=`` argument.
+BACKENDS = ("instance", "columnar", "delta")
+
+StoreChoice = Union[str, FactStore, Callable[[], FactStore]]
+
+
+def make_store(store: StoreChoice = "instance", atoms: Iterable[Atom] = ()) -> FactStore:
+    """Build a fact store from a backend name, factory, or instance.
+
+    * a backend name from :data:`BACKENDS` builds a fresh store seeded
+      with *atoms* (for ``"delta"`` the seed becomes the frozen base);
+    * a callable is invoked to produce an empty store, then seeded;
+    * an existing :class:`FactStore` is seeded in place and returned.
+    """
+    if isinstance(store, FactStore):
+        store.add_all(atoms)
+        return store
+    if callable(store):
+        built = store()
+        built.add_all(atoms)
+        return built
+    if store == "instance":
+        from ..core.instance import Instance
+
+        return Instance(atoms)
+    if store == "columnar":
+        return ColumnarStore(atoms)
+    if store == "delta":
+        return DeltaOverlay(ColumnarStore(atoms))
+    raise ValueError(
+        f"unknown storage backend {store!r}; expected one of {BACKENDS}"
+    )

@@ -1,0 +1,297 @@
+"""Interned columnar fact storage.
+
+:class:`ColumnarStore` keeps each predicate's facts as tuples of
+integer term-ids (one :class:`~repro.storage.interning.TermTable` per
+store), instead of the per-atom Python objects an
+:class:`~repro.core.instance.Instance` holds.  The design follows the
+Vadalog record-manager: cheap appends, hash indexes built lazily per
+(predicate, position) on first probe, and a small LRU cache in front of
+repeated ``matching`` probes (the access pattern the chase's trigger
+discovery and the operator network's joins produce).
+
+Space characteristics compared to ``Instance``:
+
+* each fact is one tuple of ints plus one hash-set slot for
+  deduplication — no ``Atom``/``Constant`` objects per occurrence;
+* a position index exists only for positions actually probed, and maps
+  term-id → row numbers (ints), not term → set-of-atoms;
+* every distinct term is materialized exactly once, in the term table.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from ..core.atoms import Atom
+from ..core.terms import Term
+from .base import FactStore, MemoryReport
+from .interning import TermTable
+from .memory import deep_sizeof
+
+__all__ = ["ColumnarStore"]
+
+Row = Tuple[int, ...]
+
+
+class _Relation:
+    """One predicate's facts at one arity: rows of term-ids plus indexes."""
+
+    __slots__ = ("predicate", "arity", "rows", "row_set", "indexes", "version")
+
+    def __init__(self, predicate: str, arity: int):
+        self.predicate = predicate
+        self.arity = arity
+        self.rows: List[Row] = []
+        self.row_set: set[Row] = set()
+        # 0-based position → term-id → row numbers; built lazily.
+        self.indexes: Dict[int, Dict[int, List[int]]] = {}
+        self.version = 0
+
+    def add(self, row: Row) -> bool:
+        if row in self.row_set:
+            return False
+        row_number = len(self.rows)
+        self.rows.append(row)
+        self.row_set.add(row)
+        for position, index in self.indexes.items():
+            index.setdefault(row[position], []).append(row_number)
+        self.version += 1
+        return True
+
+    def index_for(self, position: int) -> Dict[int, List[int]]:
+        """The term-id index at 0-based *position*, built on first use."""
+        index = self.indexes.get(position)
+        if index is None:
+            index = {}
+            for row_number, row in enumerate(self.rows):
+                index.setdefault(row[position], []).append(row_number)
+            self.indexes[position] = index
+        return index
+
+
+class ColumnarStore(FactStore):
+    """A :class:`FactStore` over interned term-id tuples.
+
+    ``probe_cache_size`` bounds the LRU cache of materialized
+    ``matching_bound`` results; 0 disables caching.
+    """
+
+    backend_name = "columnar"
+
+    def __init__(self, atoms: Iterable[Atom] = (), *, probe_cache_size: int = 128):
+        self._table = TermTable()
+        # predicate → arity → relation (mixed arities are legal, as in
+        # Instance, though schema_of() rejects them downstream).
+        self._relations: Dict[str, Dict[int, _Relation]] = {}
+        self._size = 0
+        self._probe_cache_size = probe_cache_size
+        self._probe_cache: OrderedDict[tuple, Tuple[Atom, ...]] = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.add_all(atoms)
+
+    # -- encoding ----------------------------------------------------------
+
+    def _encode(self, atom: Atom) -> Row:
+        return tuple(self._table.intern(term) for term in atom.args)
+
+    def _try_encode(self, atom: Atom) -> Optional[Row]:
+        """Encode without interning; None if any term is unknown."""
+        row = []
+        for term in atom.args:
+            tid = self._table.id_of(term)
+            if tid is None:
+                return None
+            row.append(tid)
+        return tuple(row)
+
+    def _decode(self, predicate: str, row: Row) -> Atom:
+        return Atom(predicate, tuple(self._table.term(tid) for tid in row))
+
+    # -- mutation ----------------------------------------------------------
+
+    def add(self, atom: Atom) -> bool:
+        if not atom.is_ground():
+            raise ValueError(f"stores contain ground atoms only, got {atom}")
+        by_arity = self._relations.setdefault(atom.predicate, {})
+        relation = by_arity.get(atom.arity)
+        if relation is None:
+            relation = by_arity[atom.arity] = _Relation(atom.predicate, atom.arity)
+        if relation.add(self._encode(atom)):
+            self._size += 1
+            return True
+        return False
+
+    # -- membership and iteration -----------------------------------------
+
+    def __contains__(self, atom: object) -> bool:
+        if not isinstance(atom, Atom):
+            return False
+        relation = self._relations.get(atom.predicate, {}).get(atom.arity)
+        if relation is None:
+            return False
+        row = self._try_encode(atom)
+        return row is not None and row in relation.row_set
+
+    def __iter__(self) -> Iterator[Atom]:
+        for predicate, by_arity in self._relations.items():
+            for relation in by_arity.values():
+                for row in relation.rows:
+                    yield self._decode(predicate, row)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def count(self, predicate: Optional[str] = None) -> int:
+        if predicate is None:
+            return self._size
+        return sum(
+            len(relation.rows)
+            for relation in self._relations.get(predicate, {}).values()
+        )
+
+    # -- retrieval ---------------------------------------------------------
+
+    def by_predicate(self, predicate: str) -> Iterator[Atom]:
+        for relation in list(self._relations.get(predicate, {}).values()):
+            # Snapshot of the row list: callers may add while consuming.
+            for row in list(relation.rows):
+                yield self._decode(predicate, row)
+
+    def predicates(self) -> set[str]:
+        return {
+            predicate
+            for predicate, by_arity in self._relations.items()
+            if any(relation.rows for relation in by_arity.values())
+        }
+
+    def matching_bound(
+        self,
+        predicate: str,
+        bound: Mapping[int, Term],
+        arity: Optional[int] = None,
+    ) -> Iterator[Atom]:
+        by_arity = self._relations.get(predicate)
+        if not by_arity:
+            return
+        relations = (
+            [by_arity[arity]] if arity is not None and arity in by_arity
+            else [] if arity is not None
+            else list(by_arity.values())
+        )
+        for relation in relations:
+            if not bound:
+                for row in list(relation.rows):
+                    yield self._decode(predicate, row)
+                continue
+            if any(position > relation.arity for position in bound):
+                continue
+            encoded: Dict[int, int] = {}
+            unknown = False
+            for position, term in bound.items():
+                tid = self._table.id_of(term)
+                if tid is None:
+                    unknown = True
+                    break
+                encoded[position - 1] = tid
+            if unknown:
+                continue
+            yield from self._probe(relation, encoded)
+
+    def _probe(self, relation: _Relation, encoded: Dict[int, int]) -> Iterator[Atom]:
+        """Lazy probe through the best index, LRU-cached per version.
+
+        Atoms are decoded as the consumer pulls them, so existence
+        checks stop after one witness; the materialized result is
+        cached only when the consumer drains the whole probe.
+        """
+        key = (
+            relation.predicate,
+            relation.arity,
+            relation.version,
+            tuple(sorted(encoded.items())),
+        )
+        cached = self._probe_cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            self._probe_cache.move_to_end(key)
+            yield from cached
+            return
+        self.cache_misses += 1
+        # Probe through the position with the smallest bucket among the
+        # already-built indexes; build one for the first bound position
+        # when none exists yet.  The bucket is snapshotted so the store
+        # may grow while the consumer iterates.
+        built = [p for p in encoded if p in relation.indexes]
+        probe_position = (
+            min(built, key=lambda p: len(relation.indexes[p].get(encoded[p], ())))
+            if built
+            else min(encoded)
+        )
+        bucket = tuple(
+            relation.index_for(probe_position).get(encoded[probe_position], ())
+        )
+        rest = [(p, tid) for p, tid in encoded.items() if p != probe_position]
+        collected: List[Atom] = []
+        for row_number in bucket:
+            row = relation.rows[row_number]
+            if all(row[p] == tid for p, tid in rest):
+                atom = self._decode(relation.predicate, row)
+                collected.append(atom)
+                yield atom
+        if self._probe_cache_size > 0:
+            self._probe_cache[key] = tuple(collected)
+            while len(self._probe_cache) > self._probe_cache_size:
+                self._probe_cache.popitem(last=False)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def fresh(self) -> "ColumnarStore":
+        return ColumnarStore(probe_cache_size=self._probe_cache_size)
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def stats(self) -> dict:
+        """Probe-cache and index statistics (observability for tests)."""
+        return {
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_entries": len(self._probe_cache),
+            "indexes_built": sum(
+                len(relation.indexes)
+                for by_arity in self._relations.values()
+                for relation in by_arity.values()
+            ),
+            "terms_interned": len(self._table),
+        }
+
+    def memory_report(self, seen: Optional[set[int]] = None) -> MemoryReport:
+        if seen is None:
+            seen = set()
+        columns = 0
+        dedup = 0
+        indexes = 0
+        for by_arity in self._relations.values():
+            for relation in by_arity.values():
+                columns += deep_sizeof(relation.rows, seen)
+                dedup += deep_sizeof(relation.row_set, seen)
+                indexes += deep_sizeof(relation.indexes, seen)
+        terms = self._table.measured_bytes(seen)
+        cache = deep_sizeof(self._probe_cache, seen)
+        return MemoryReport(
+            backend=self.backend_name,
+            atom_count=self._size,
+            term_count=len(self._table),
+            components={
+                "columns": columns,
+                "dedup": dedup,
+                "indexes": indexes,
+                "terms": terms,
+                "probe_cache": cache,
+            },
+        )
+
+    def __repr__(self) -> str:
+        return f"ColumnarStore({self._size} atoms, {len(self._table)} terms)"

@@ -1,0 +1,150 @@
+"""Delta-overlay storage.
+
+:class:`DeltaOverlay` layers a small writable *delta* store over a
+frozen *base* store.  This is the shape delta-oriented evaluation
+actually wants: semi-naive rounds and the operator network's delta
+streams read the union but only ever write the (small) top layer, and
+:meth:`DeltaOverlay.promote` merges the delta into the base at a round
+boundary.  The streaming-Vadalog architecture builds its recursion
+handling on exactly this base/delta split.
+
+Both layers are themselves :class:`~repro.storage.base.FactStore`
+instances, so overlays compose with any backend (columnar base under an
+instance delta, etc.).  The base is treated as frozen by convention —
+the overlay never writes to it outside ``promote()`` — but it is not
+copied, so constructing an overlay over a large base is O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Optional
+
+from ..core.atoms import Atom
+from ..core.terms import Term
+from .base import FactStore, MemoryReport
+from .columnar import ColumnarStore
+
+__all__ = ["DeltaOverlay"]
+
+
+class DeltaOverlay(FactStore):
+    """A writable delta layered over a frozen base store.
+
+    New atoms (not present in either layer) land in the delta;
+    ``promote()`` merges the delta into the base and starts a fresh one.
+    """
+
+    backend_name = "delta"
+
+    def __init__(
+        self,
+        base: Optional[FactStore] = None,
+        atoms: Iterable[Atom] = (),
+    ):
+        self._base = base if base is not None else ColumnarStore()
+        self._delta = self._base.fresh()
+        self.promotions = 0
+        self.add_all(atoms)
+
+    @property
+    def base(self) -> FactStore:
+        """The frozen lower layer."""
+        return self._base
+
+    @property
+    def delta(self) -> FactStore:
+        """The writable upper layer (atoms added since the last promote)."""
+        return self._delta
+
+    # -- mutation ----------------------------------------------------------
+
+    def add(self, atom: Atom) -> bool:
+        if atom in self._base:
+            return False
+        return self._delta.add(atom)
+
+    def promote(self) -> int:
+        """Merge the delta into the base; return how many atoms moved."""
+        moved = self._base.add_all(self._delta)
+        self._delta = self._base.fresh()
+        self.promotions += 1
+        return moved
+
+    # -- membership and iteration -----------------------------------------
+
+    def __contains__(self, atom: object) -> bool:
+        return atom in self._base or atom in self._delta
+
+    def __iter__(self) -> Iterator[Atom]:
+        yield from self._base
+        yield from self._delta
+
+    def __len__(self) -> int:
+        return len(self._base) + len(self._delta)
+
+    def count(self, predicate: Optional[str] = None) -> int:
+        return self._base.count(predicate) + self._delta.count(predicate)
+
+    # -- retrieval ---------------------------------------------------------
+
+    def by_predicate(self, predicate: str) -> Iterator[Atom]:
+        yield from self._base.by_predicate(predicate)
+        yield from self._delta.by_predicate(predicate)
+
+    def predicates(self) -> set[str]:
+        return self._base.predicates() | self._delta.predicates()
+
+    def matching_bound(
+        self,
+        predicate: str,
+        bound: Mapping[int, Term],
+        arity: Optional[int] = None,
+    ) -> Iterator[Atom]:
+        yield from self._base.matching_bound(predicate, bound, arity)
+        yield from self._delta.matching_bound(predicate, bound, arity)
+
+    def matching(self, pattern: Atom) -> Iterator[Atom]:
+        # Delegate per layer so each backend keeps its optimized path.
+        yield from self._base.matching(pattern)
+        yield from self._delta.matching(pattern)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def fresh(self) -> "DeltaOverlay":
+        return DeltaOverlay(self._base.fresh())
+
+    def copy(self) -> "DeltaOverlay":
+        clone = DeltaOverlay(self._base.copy())
+        clone._delta.add_all(self._delta)
+        return clone
+
+    # -- accounting --------------------------------------------------------
+
+    def memory_report(self, seen: Optional[set[int]] = None) -> MemoryReport:
+        # One shared visited-set across both layers: term objects decoded
+        # from the base and re-interned in the delta are charged once,
+        # and term_count is the true number of distinct terms.
+        if seen is None:
+            seen = set()
+        base_report = self._base.memory_report(seen)
+        delta_report = self._delta.memory_report(seen)
+        components = {
+            f"base.{name}": size
+            for name, size in base_report.components.items()
+        }
+        components.update(
+            (f"delta.{name}", size)
+            for name, size in delta_report.components.items()
+        )
+        return MemoryReport(
+            backend=self.backend_name,
+            atom_count=len(self),
+            term_count=len(self.active_domain()),
+            components=components,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DeltaOverlay(base={len(self._base)} atoms, "
+            f"delta={len(self._delta)} atoms)"
+        )

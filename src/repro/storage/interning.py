@@ -1,0 +1,61 @@
+"""Term interning.
+
+A :class:`TermTable` maps ground terms (constants and labeled nulls) to
+dense integer ids and back.  Interning is what makes columnar storage
+space-efficient: each distinct term is stored once, facts become tuples
+of small integers, and term equality during index probes becomes
+integer equality.
+
+Ids are dense and stable: the *n*-th distinct term interned receives id
+``n``, and decoding returns the exact object first interned (so, e.g.,
+a labeled null keeps the ``depth`` bookkeeping it was created with).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..core.terms import Term
+from .memory import deep_sizeof
+
+__all__ = ["TermTable"]
+
+
+class TermTable:
+    """A bidirectional term ↔ integer-id dictionary."""
+
+    __slots__ = ("_ids", "_terms")
+
+    def __init__(self) -> None:
+        self._ids: Dict[Term, int] = {}
+        self._terms: List[Term] = []
+
+    def intern(self, term: Term) -> int:
+        """The id of *term*, assigning the next dense id if unseen."""
+        tid = self._ids.get(term)
+        if tid is None:
+            tid = len(self._terms)
+            self._ids[term] = tid
+            self._terms.append(term)
+        return tid
+
+    def id_of(self, term: Term) -> Optional[int]:
+        """The id of *term*, or None if it was never interned."""
+        return self._ids.get(term)
+
+    def term(self, tid: int) -> Term:
+        """The term with id *tid* (the object first interned)."""
+        return self._terms[tid]
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __contains__(self, term: object) -> bool:
+        return term in self._ids
+
+    def measured_bytes(self, seen: Set[int]) -> int:
+        """Deep size of the table, shared-``seen`` accounting."""
+        return deep_sizeof(self._ids, seen) + deep_sizeof(self._terms, seen)
+
+    def __repr__(self) -> str:
+        return f"TermTable({len(self)} terms)"

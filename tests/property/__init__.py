@@ -1,0 +1,1 @@
+"""Test package (gives pytest a package root for relative imports)."""
