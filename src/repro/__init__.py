@@ -34,7 +34,7 @@ from .core import (
 )
 from .lang import parse_atom, parse_program, parse_query
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Atom",
@@ -51,8 +51,34 @@ __all__ = [
     "parse_query",
     "parse_atom",
     "certain_answers",
+    "Session",
+    "CompiledProgram",
+    "Planner",
+    "QueryPlan",
+    "AnswerStream",
+    "compile_program",
     "__version__",
 ]
+
+
+def __getattr__(name):
+    """Lazily surface the session layer at the package root.
+
+    ``repro.Session`` et al. resolve through :mod:`repro.api` on first
+    access, so importing the core package stays cheap.
+    """
+    if name in (
+        "Session",
+        "CompiledProgram",
+        "Planner",
+        "QueryPlan",
+        "AnswerStream",
+        "compile_program",
+    ):
+        from . import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def certain_answers(query, database, program, **kwargs):

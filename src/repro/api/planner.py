@@ -1,0 +1,200 @@
+"""The planner: engine selection as an inspectable artifact.
+
+Engine dispatch used to live as ad-hoc ``if`` chains inside
+``certain_answers`` (and again, slightly differently, in callers that
+picked ``chase_answers`` or ``datalog_answers`` by hand).
+:class:`Planner` is now the one place that decision is made; its output
+is a :class:`QueryPlan` — a frozen record of *what* will run and *why*,
+with a stable :meth:`QueryPlan.explain` rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Tuple
+
+from ..core.query import ConjunctiveQuery
+from ..storage import BACKENDS, FactStore
+from .program import CompiledProgram, compile_program
+
+__all__ = ["Planner", "QueryPlan", "ENGINES"]
+
+#: Engine names a plan can resolve to (``"auto"`` is accepted as input).
+ENGINES = ("datalog", "pwl", "ward", "chase", "network")
+
+_ENGINE_LABELS = {
+    "datalog": "semi-naive least fixpoint (exact for full programs)",
+    "pwl": "linear proof-tree search (Theorem 4.8)",
+    "ward": "AND-OR alternating proof search (Theorem 4.9)",
+    "chase": "restricted chase (exact iff it saturates)",
+    "network": "streaming operator network (Section 7)",
+}
+
+_PIPELINES = {
+    "datalog": (
+        "run the semi-naive fixpoint over the EDB",
+        "after each round, delta-evaluate q on the staged facts and "
+        "stream the new answers",
+    ),
+    "pwl": (
+        "reuse (or build) the star abstraction of (D, Σ)",
+        "bounded chase probe settles cheap positives — streamed first",
+        "enumerate candidate tuples from the abstraction's pools",
+        "decide each remaining candidate by linear proof-tree search, "
+        "streaming accepted tuples",
+    ),
+    "ward": (
+        "reuse (or build) the star abstraction of (D, Σ)",
+        "bounded chase probe settles cheap positives — streamed first",
+        "enumerate candidate tuples from the abstraction's pools",
+        "decide each remaining candidate by AND-OR search, streaming "
+        "accepted tuples",
+    ),
+    "chase": (
+        "run the restricted chase over the EDB",
+        "after each firing, delta-evaluate q on the new atoms and "
+        "stream the new answers",
+        "on exhaustion, require saturation (strict) or report a sound "
+        "under-approximation",
+    ),
+    "network": (
+        "push EDB atoms through the compiled rule-node network "
+        "(join orders planned once)",
+        "delta-evaluate q on each derived atom and stream the new "
+        "answers",
+    ),
+}
+
+
+def _store_label(store) -> str:
+    if isinstance(store, str):
+        return store
+    if isinstance(store, FactStore):
+        return type(store).__name__
+    return getattr(store, "__name__", type(store).__name__)
+
+
+def validate_store(store):
+    """Check a ``store=`` argument, with an error that names the options."""
+    if isinstance(store, str) and store not in BACKENDS:
+        raise ValueError(
+            f"unknown storage backend {store!r}; choose one of "
+            f"{', '.join(BACKENDS)}"
+        )
+    return store
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """A resolved execution plan for one query against one program.
+
+    Frozen and printable: ``method`` is the engine that will run,
+    ``reasons`` records why the planner chose it, ``steps`` the
+    pipeline the executor follows.  ``engine_kwargs`` are forwarded to
+    the engine verbatim (excluded from equality — they may hold live
+    objects such as oracles or policies).
+    """
+
+    query: ConjunctiveQuery
+    method: str
+    store: Any = field(compare=False)
+    store_name: str = "instance"
+    program: CompiledProgram = field(compare=False, default=None)
+    reasons: Tuple[str, ...] = ()
+    steps: Tuple[str, ...] = ()
+    engine_kwargs: Mapping[str, Any] = field(compare=False, default_factory=dict)
+
+    @property
+    def engine_label(self) -> str:
+        return _ENGINE_LABELS[self.method]
+
+    def explain(self) -> str:
+        """A stable, human-readable rendering of the plan."""
+        analysis = self.program.analysis
+        lines = [
+            f"plan for {self.query}",
+            f"  program : {self.program.name} — "
+            f"{self.program.rules} rule(s), class {analysis.program_class}, "
+            f"max level {analysis.max_level}, "
+            f"{len(analysis.strata.layers)} stratum/strata",
+            f"  engine  : {self.method} — {self.engine_label}",
+            f"  store   : {self.store_name}",
+            "  why:",
+        ]
+        lines.extend(f"    - {reason}" for reason in self.reasons)
+        lines.append("  pipeline:")
+        lines.extend(
+            f"    {i}. {step}" for i, step in enumerate(self.steps, start=1)
+        )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.explain()
+
+
+class Planner:
+    """Resolves (compiled program, query, method) into a :class:`QueryPlan`.
+
+    This is the *only* place engine auto-dispatch lives: the legacy
+    ``certain_answers`` and ``chase_answers`` facades both route
+    through here, as does :meth:`repro.api.Session.query`.
+    """
+
+    def resolve(
+        self, compiled: CompiledProgram, method: str = "auto"
+    ) -> Tuple[str, Tuple[str, ...]]:
+        """The engine for *compiled*, with the reasons for the choice."""
+        if method != "auto":
+            if method not in ENGINES:
+                raise ValueError(f"unknown method {method!r}")
+            return method, (f"engine {method!r} forced by the caller",)
+        analysis = compiled.analysis
+        if analysis.full and analysis.single_head:
+            return "datalog", (
+                "program is full and single-head → exact least-fixpoint "
+                "evaluation",
+            )
+        if analysis.warded:
+            if analysis.piecewise_linear:
+                return "pwl", (
+                    "program is warded and piece-wise linear → "
+                    "space-efficient linear proof-tree search",
+                )
+            return "ward", (
+                "program is warded but not piece-wise linear → AND-OR "
+                "alternating search",
+            )
+        return "chase", (
+            "program is outside WARD → chase, accepted only if it "
+            "saturates (no complete procedure exists, Theorem 5.1)",
+        )
+
+    def plan(
+        self,
+        compiled: CompiledProgram,
+        query: ConjunctiveQuery,
+        *,
+        method: str = "auto",
+        store="instance",
+        **engine_kwargs,
+    ) -> QueryPlan:
+        """Build the :class:`QueryPlan` for one query.
+
+        ``store`` is validated against :data:`repro.storage.BACKENDS`
+        when given by name.  Remaining keyword arguments are forwarded
+        to the chosen engine (``probe_depth``, ``width_bound``,
+        ``strict``, ``max_atoms``, ...).
+        """
+        compiled = compile_program(compiled)
+        validate_store(store)
+        resolved, reasons = self.resolve(compiled, method)
+        return QueryPlan(
+            query=query,
+            method=resolved,
+            store=store,
+            store_name=_store_label(store),
+            program=compiled,
+            reasons=reasons,
+            steps=_PIPELINES[resolved],
+            engine_kwargs=dict(engine_kwargs),
+        )

@@ -1,0 +1,258 @@
+"""The session: one front door for compile-once, query-many workloads.
+
+A :class:`Session` owns
+
+* the **EDB** — a shared fact base, extended by loaded programs and
+  :meth:`Session.add_facts`;
+* a **store choice** — the fact-storage backend every materializing
+  engine uses (see :data:`repro.storage.BACKENDS`);
+* a **compiled-program cache** — each :class:`Program` is classified,
+  stratified, and join-planned exactly once;
+* cross-query caches — star abstractions (proof-tree engines) and
+  saturated materializations (fixpoint engines), both keyed by the EDB
+  version so fact updates invalidate them.
+
+``Session.query`` returns a lazy :class:`AnswerStream`; nothing runs
+until the caller pulls.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Tuple, Union
+
+from ..core.atoms import Atom
+from ..core.instance import Database, Instance
+from ..core.program import Program
+from ..core.query import ConjunctiveQuery
+from ..lang.parser import parse_program, parse_query
+from ..storage import FactStore
+from .execution import execute_plan
+from .planner import Planner, QueryPlan, validate_store
+from .program import CompiledProgram, compile_program
+from .stream import AnswerStream
+
+__all__ = ["Session"]
+
+QueryLike = Union[str, ConjunctiveQuery]
+ProgramLike = Union[None, str, Program, CompiledProgram]
+
+
+class Session:
+    """A reusable query-answering session over a shared EDB."""
+
+    def __init__(self, *, store="instance", planner: Optional[Planner] = None):
+        validate_store(store)
+        if isinstance(store, FactStore):
+            # One live store seeded in place by every engine run would
+            # leak one query's materialization into the next (even
+            # across programs).  Engines may take an instance directly;
+            # a session needs a name or a factory.
+            raise ValueError(
+                "Session cannot share one FactStore instance across "
+                "queries; pass a backend name or a factory callable"
+            )
+        self.store = store
+        self.planner = planner if planner is not None else Planner()
+        self.edb = Database()
+        self._edb_version = 0
+        self._compiled: Dict[Program, CompiledProgram] = {}
+        self._external: list = []  # externally compiled, kept alive
+        self._last: Optional[CompiledProgram] = None
+        self._abstractions: Dict[Tuple[int, int], Instance] = {}
+        self._fixpoints: Dict[tuple, FactStore] = {}
+
+    def __repr__(self) -> str:
+        return (
+            f"Session(store={self.store!r}, {len(self.edb)} facts, "
+            f"{len(self._compiled)} program(s) compiled)"
+        )
+
+    # -- EDB management ----------------------------------------------------
+
+    @property
+    def edb_version(self) -> int:
+        """Bumped whenever facts are added; keys the derived caches."""
+        return self._edb_version
+
+    def add_facts(self, atoms: Iterable[Atom]) -> int:
+        """Add facts to the shared EDB, invalidating derived caches."""
+        added = self.edb.add_all(atoms)
+        if added:
+            self._edb_version += 1
+            self._abstractions.clear()
+            self._fixpoints.clear()
+        return added
+
+    # -- program management ------------------------------------------------
+
+    def load(
+        self, source: Union[str, Path], *, name: str = ""
+    ) -> CompiledProgram:
+        """Parse a program (text or path), absorb its facts, compile it.
+
+        The returned :class:`CompiledProgram` becomes the session's
+        default program for subsequent :meth:`query` calls.
+        """
+        if isinstance(source, Path):
+            name = name or source.stem
+            source = source.read_text()
+        program, database = parse_program(source, name=name)
+        self.add_facts(database)
+        return self.compile(program, source=source)
+
+    def compile(
+        self, program: Program, *, source: Optional[str] = None
+    ) -> CompiledProgram:
+        """Compile *program* once; later calls return the cached artifact."""
+        if isinstance(program, CompiledProgram):
+            # Retain a strong reference: the abstraction/fixpoint caches
+            # key by id(compiled), which must not be reused by a new
+            # object while this session holds entries for it.
+            self._compiled.setdefault(program.program, program)
+            if self._compiled[program.program] is not program:
+                self._external.append(program)
+            self._last = program
+            return program
+        if not isinstance(program, Program):
+            program = Program(program)  # bare TGD iterables
+        compiled = self._compiled.get(program)
+        if compiled is None:
+            compiled = compile_program(program, source=source)
+            self._compiled[program] = compiled
+        self._last = compiled
+        return compiled
+
+    @property
+    def programs(self) -> Tuple[CompiledProgram, ...]:
+        return tuple(self._compiled.values())
+
+    def _resolve_program(self, program: ProgramLike) -> CompiledProgram:
+        if program is None:
+            if self._last is None:
+                raise ValueError(
+                    "no program loaded into this session; call "
+                    "Session.load()/compile() or pass program="
+                )
+            return self._last
+        if isinstance(program, CompiledProgram):
+            return self.compile(program)
+        if isinstance(program, str):
+            parsed, _ = parse_program(program)
+            return self.compile(parsed, source=program)
+        return self.compile(program)
+
+    # -- planning and querying --------------------------------------------
+
+    def plan(
+        self,
+        query: QueryLike,
+        *,
+        program: ProgramLike = None,
+        method: str = "auto",
+        **engine_kwargs,
+    ) -> QueryPlan:
+        """Plan a query without running it (see :meth:`QueryPlan.explain`)."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        compiled = self._resolve_program(program)
+        return self.planner.plan(
+            compiled, query, method=method, store=self.store, **engine_kwargs
+        )
+
+    def explain(self, query: QueryLike, **plan_kwargs) -> str:
+        """The stable rendering of the plan :meth:`query` would execute."""
+        return self.plan(query, **plan_kwargs).explain()
+
+    def query(
+        self,
+        query: QueryLike,
+        *,
+        program: ProgramLike = None,
+        method: str = "auto",
+        **engine_kwargs,
+    ) -> AnswerStream:
+        """Answer a query against the session EDB, lazily.
+
+        Returns an :class:`AnswerStream`; the engine starts on the
+        first pull, and its materialized set equals the legacy eager
+        ``certain_answers`` for the same arguments.
+        """
+        plan = self.plan(
+            query, program=program, method=method, **engine_kwargs
+        )
+        return execute_plan(plan, self.edb, session=self)
+
+    def answers(self, query: QueryLike, **query_kwargs) -> set:
+        """Eager convenience: ``set(self.query(...))``."""
+        return set(self.query(query, **query_kwargs).to_set())
+
+    # -- cross-query caches ------------------------------------------------
+
+    def abstraction_for(self, compiled: CompiledProgram) -> Instance:
+        """The star abstraction of (EDB, Σ), computed once per EDB version.
+
+        It both bounds the candidate answer pools and serves as the
+        pruning oracle of the proof-tree engines, and depends only on
+        the facts and the program — never on the query.
+        """
+        from ..reasoning.abstraction import star_abstraction
+
+        key = (id(compiled), self._edb_version)
+        abstraction = self._abstractions.get(key)
+        if abstraction is None:
+            abstraction = star_abstraction(
+                self.edb, compiled.analysis.normalized
+            )
+            self._abstractions[key] = abstraction
+        return abstraction
+
+    #: engine kwargs whose values are plain data — a plan whose kwargs
+    #: stay inside this set has cacheable, key-comparable semantics.
+    _CACHEABLE_KWARGS = frozenset(
+        {
+            "variant",
+            "max_atoms",
+            "max_steps",
+            "max_events",
+            "max_rounds",
+            "strict",
+            "probe_depth",
+            "probe_atoms",
+        }
+    )
+
+    def _fixpoint_cacheable(self, plan: QueryPlan) -> bool:
+        """Live collaborators (termination policies, guides, custom null
+        factories, oracles) can suppress or alter derivations without
+        marking the run unsaturated — such runs must never be served to,
+        or taken from, the shared fixpoint cache."""
+        return all(
+            key in self._CACHEABLE_KWARGS for key in plan.engine_kwargs
+        )
+
+    def _fixpoint_key(self, plan: QueryPlan) -> tuple:
+        relevant = tuple(
+            sorted(
+                (k, repr(v)) for k, v in plan.engine_kwargs.items()
+            )
+        )
+        return (
+            id(plan.program),
+            self._edb_version,
+            plan.method,
+            plan.store_name,
+            relevant,
+        )
+
+    def get_fixpoint(self, plan: QueryPlan) -> Optional[FactStore]:
+        """A cached saturated materialization for this plan, if any."""
+        if not self._fixpoint_cacheable(plan):
+            return None
+        return self._fixpoints.get(self._fixpoint_key(plan))
+
+    def set_fixpoint(self, plan: QueryPlan, instance: FactStore) -> None:
+        """Register a saturated materialization for reuse."""
+        if not self._fixpoint_cacheable(plan):
+            return
+        self._fixpoints[self._fixpoint_key(plan)] = instance

@@ -1,0 +1,151 @@
+"""Pull-based answer streams.
+
+An :class:`AnswerStream` is the result type of the session layer: a
+lazy, replayable iterator of certain-answer tuples.  The underlying
+engine generator is driven only as far as the consumer pulls, so the
+first answers surface before the full certain-answer set is
+materialized; consumed tuples are cached, so repeated iteration,
+:meth:`AnswerStream.to_set`, and partial reads all agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple
+
+from ..core.terms import Constant
+
+__all__ = ["AnswerStream", "StreamStats"]
+
+AnswerTuple = Tuple[Constant, ...]
+
+
+@dataclass
+class StreamStats:
+    """Execution statistics, filled in as the stream is driven.
+
+    ``probe_answers``/``decided_tuples`` mirror the legacy
+    :class:`~repro.reasoning.answers.AnswerReport` fields (proof-tree
+    engines only); ``saturated`` reports fixpoint completion for the
+    materializing engines; ``from_cache`` marks a session cache hit
+    (a reused materialization — no engine run at all).
+    """
+
+    method: str = ""
+    probe_answers: int = 0
+    decided_tuples: int = 0
+    saturated: Optional[bool] = None
+    from_cache: bool = False
+
+
+class AnswerStream:
+    """A lazy stream of certain-answer tuples.
+
+    Iteration pulls tuples from the engine generator on demand; the
+    stream never runs the engine further than requested.  Soundness
+    holds at every prefix (every yielded tuple is a certain answer);
+    completeness — the materialized set equalling ``cert(q, D, Σ)`` —
+    holds on normal exhaustion.  An engine that cannot certify
+    completeness (e.g. a strict chase that failed to saturate) raises
+    at the *end* of the stream, after its sound prefix.
+    """
+
+    def __init__(
+        self,
+        plan,
+        factory: Callable[[], Iterable[AnswerTuple]],
+        stats: Optional[StreamStats] = None,
+    ):
+        self._plan = plan
+        self._factory = factory
+        self._iterator: Optional[Iterator[AnswerTuple]] = None
+        self._cache: List[AnswerTuple] = []
+        self._exhausted = False
+        self._error: Optional[BaseException] = None
+        self.stats = stats if stats is not None else StreamStats(
+            method=getattr(plan, "method", "")
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def plan(self):
+        """The :class:`~repro.api.planner.QueryPlan` being executed."""
+        return self._plan
+
+    @property
+    def method(self) -> str:
+        return self._plan.method
+
+    @property
+    def started(self) -> bool:
+        """True once the engine generator has been constructed."""
+        return self._iterator is not None
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the engine has been drained (the set is complete)."""
+        return self._exhausted
+
+    def explain(self) -> str:
+        return self._plan.explain()
+
+    def __repr__(self) -> str:
+        state = (
+            "complete"
+            if self._exhausted
+            else ("started" if self.started else "pending")
+        )
+        return (
+            f"AnswerStream({self.method}, {len(self._cache)} pulled, {state})"
+        )
+
+    # -- pulling -----------------------------------------------------------
+
+    def _pull(self) -> bool:
+        """Advance the engine by one tuple; False when drained."""
+        if self._error is not None:
+            raise self._error
+        if self._exhausted:
+            return False
+        if self._iterator is None:
+            self._iterator = iter(self._factory())
+        try:
+            item = next(self._iterator)
+        except StopIteration:
+            self._exhausted = True
+            return False
+        except BaseException as error:
+            self._error = error
+            raise
+        self._cache.append(item)
+        return True
+
+    def __iter__(self) -> Iterator[AnswerTuple]:
+        index = 0
+        while True:
+            while index < len(self._cache):
+                yield self._cache[index]
+                index += 1
+            if not self._pull():
+                return
+
+    def first(self, n: int = 1) -> List[AnswerTuple]:
+        """The first *n* answers, driving the engine no further."""
+        while len(self._cache) < n and self._pull():
+            pass
+        return self._cache[:n]
+
+    def to_set(self) -> frozenset:
+        """Drain the stream and return the full certain-answer set."""
+        while self._pull():
+            pass
+        return frozenset(self._cache)
+
+    def to_sorted(self) -> List[AnswerTuple]:
+        """Drain the stream; answers sorted by string form."""
+        return sorted(self.to_set(), key=str)
+
+    def count(self) -> int:
+        """``|cert(q, D, Σ)|`` (drains the stream)."""
+        return len(self.to_set())

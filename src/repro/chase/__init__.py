@@ -1,7 +1,15 @@
 """The chase procedure: triggers, runner, termination control, chase graph."""
 
 from .graph import ChaseGraph, DerivationEdge
-from .runner import ChaseResult, chase, chase_answers
+from .runner import (
+    ChaseEvent,
+    ChaseResult,
+    ChaseRun,
+    chase,
+    chase_answers,
+    chase_events,
+    stream_chase_answers,
+)
 from .termination import (
     AlwaysFire,
     CompositePolicy,
@@ -15,7 +23,11 @@ from .trigger import Trigger, all_triggers, fire, triggers_for_new_atom
 __all__ = [
     "chase",
     "chase_answers",
+    "chase_events",
+    "stream_chase_answers",
+    "ChaseEvent",
     "ChaseResult",
+    "ChaseRun",
     "Trigger",
     "all_triggers",
     "triggers_for_new_atom",

@@ -31,7 +31,7 @@ from ..core.atoms import Atom
 from ..core.homomorphism import find_homomorphism
 from ..core.instance import Database
 from ..core.program import Program
-from ..core.query import ConjunctiveQuery
+from ..core.query import ConjunctiveQuery, stream_new_answers
 from ..core.substitution import Substitution
 from ..core.terms import Constant, NullFactory, Term, Variable
 from ..storage import FactStore, StoreChoice, make_store
@@ -39,7 +39,15 @@ from .graph import ChaseGraph
 from .termination import AlwaysFire, TerminationPolicy
 from .trigger import Trigger, all_triggers, fire, triggers_for_new_atom
 
-__all__ = ["ChaseResult", "chase", "chase_answers"]
+__all__ = [
+    "ChaseEvent",
+    "ChaseResult",
+    "ChaseRun",
+    "chase",
+    "chase_events",
+    "chase_answers",
+    "stream_chase_answers",
+]
 
 
 @dataclass
@@ -71,7 +79,45 @@ def _head_already_satisfied(trigger: Trigger, instance: FactStore) -> bool:
     return find_homomorphism(list(trigger.tgd.head), instance, seed) is not None
 
 
-def chase(
+@dataclass(frozen=True)
+class ChaseEvent:
+    """One pull-based event of a chase run.
+
+    Event 0 carries the seeded database; each later event carries the
+    atoms one trigger firing added.  ``instance`` is the live store
+    *after* the addition, shared across events.
+    """
+
+    index: int
+    new_atoms: tuple[Atom, ...]
+    instance: FactStore
+
+
+@dataclass
+class ChaseRun:
+    """Mutable run record shared between :func:`chase_events` and its
+    drivers; filled in as the generator is drained."""
+
+    instance: Optional[FactStore] = None
+    saturated: bool = True
+    fired: int = 0
+    suppressed: int = 0
+    graph: Optional[ChaseGraph] = None
+    null_factory: Optional[NullFactory] = None
+
+    def result(self) -> ChaseResult:
+        assert self.instance is not None
+        return ChaseResult(
+            instance=self.instance,
+            saturated=self.saturated,
+            fired=self.fired,
+            suppressed=self.suppressed,
+            graph=self.graph,
+            null_factory=self.null_factory,
+        )
+
+
+def chase_events(
     database: Database,
     program: Program,
     *,
@@ -82,14 +128,17 @@ def chase(
     record_graph: bool = False,
     null_factory: Optional[NullFactory] = None,
     store: StoreChoice = "instance",
-) -> ChaseResult:
-    """Run a fair chase of *database* under *program*.
+    run: Optional[ChaseRun] = None,
+):
+    """Run a fair chase of *database* under *program*, lazily.
 
-    The trigger queue is FIFO over newly derived atoms (semi-naive
-    discovery), which yields a fair sequence: every applicable trigger is
-    eventually considered.  ``max_steps`` bounds fired triggers and
-    ``max_atoms`` bounds the instance size; hitting either limit returns
-    ``saturated=False``.
+    This is the engine core: a generator of :class:`ChaseEvent` that
+    :func:`chase` drains eagerly and :func:`stream_chase_answers` taps
+    for incremental answers.  The trigger queue is FIFO over newly
+    derived atoms (semi-naive discovery), which yields a fair sequence:
+    every applicable trigger is eventually considered.  ``max_steps``
+    bounds fired triggers and ``max_atoms`` bounds the instance size;
+    hitting either limit records ``saturated=False`` on *run*.
 
     ``store`` selects the materialization backend (see
     :data:`repro.storage.BACKENDS`); every backend yields the same chase
@@ -97,10 +146,14 @@ def chase(
     """
     if variant not in ("restricted", "oblivious"):
         raise ValueError(f"unknown chase variant {variant!r}")
+    run = run if run is not None else ChaseRun()
     policy = policy or AlwaysFire()
     factory = null_factory or NullFactory()
+    run.null_factory = factory
     instance = make_store(store, database)
+    run.instance = instance
     graph = ChaseGraph() if record_graph else None
+    run.graph = graph
     if graph is not None:
         for atom in instance:
             graph.add_database_atom(atom)
@@ -118,25 +171,24 @@ def chase(
     for trigger in all_triggers(tgds, instance):
         enqueue(trigger)
 
-    fired_count = 0
-    suppressed_count = 0
-    saturated = True
+    yield ChaseEvent(index=0, new_atoms=tuple(instance), instance=instance)
+    event_index = 0
 
     while queue:
-        if max_steps is not None and fired_count >= max_steps:
-            saturated = False
+        if max_steps is not None and run.fired >= max_steps:
+            run.saturated = False
             break
         if max_atoms is not None and len(instance) >= max_atoms:
-            saturated = False
+            run.saturated = False
             break
         trigger = queue.popleft()
         if variant == "restricted" and _head_already_satisfied(trigger, instance):
             continue
         produced, h_prime = fire(trigger, factory)
         if not policy.should_fire(trigger, produced, instance):
-            suppressed_count += 1
+            run.suppressed += 1
             continue
-        fired_count += 1
+        run.fired += 1
         new_atoms = [a for a in produced if a not in instance]
         if graph is not None and new_atoms:
             graph.record_firing(
@@ -147,20 +199,59 @@ def chase(
         for atom in new_atoms:
             for new_trigger in triggers_for_new_atom(tgds, atom, instance):
                 enqueue(new_trigger)
+        if new_atoms:
+            event_index += 1
+            yield ChaseEvent(
+                index=event_index,
+                new_atoms=tuple(new_atoms),
+                instance=instance,
+            )
 
-    if not queue and saturated:
-        saturated = True
-    elif queue:
-        saturated = False
+    if queue:
+        run.saturated = False
 
-    return ChaseResult(
-        instance=instance,
-        saturated=saturated,
-        fired=fired_count,
-        suppressed=suppressed_count,
-        graph=graph,
-        null_factory=factory,
+
+def chase(
+    database: Database,
+    program: Program,
+    **chase_kwargs,
+) -> ChaseResult:
+    """Run a fair chase of *database* under *program* to completion.
+
+    Thin eager driver over :func:`chase_events`; see there for the
+    keyword arguments and fairness/limit semantics.
+    """
+    run = ChaseRun()
+    for _ in chase_events(database, program, run=run, **chase_kwargs):
+        pass
+    return run.result()
+
+
+def stream_chase_answers(
+    query: ConjunctiveQuery,
+    database: Database,
+    program: Program,
+    *,
+    run: Optional[ChaseRun] = None,
+    on_fixpoint=None,
+    **chase_kwargs,
+):
+    """Yield ``q(chase(D, Σ))`` tuples as the chase derives them.
+
+    Sound at every prefix (a truncated chase only under-approximates);
+    complete exactly when the chase saturates — inspect *run* after
+    exhaustion, or use the planner path which raises for the strict
+    certain-answer semantics.  ``on_fixpoint``, if given, receives the
+    final :class:`FactStore` of a *saturated* run (for caching).
+    """
+    run = run if run is not None else ChaseRun()
+    yield from stream_new_answers(
+        query,
+        chase_events(database, program, run=run, **chase_kwargs),
+        lambda event: event.new_atoms,
     )
+    if on_fixpoint is not None and run.saturated and run.instance is not None:
+        on_fixpoint(run.instance)
 
 
 def chase_answers(
@@ -174,6 +265,22 @@ def chase_answers(
     When the chase is truncated by limits the returned set is a *sound
     under-approximation* of cert(q, D, Σ): every returned tuple is a
     certain answer, but some certain answers may be missing.
+
+    Thin deprecated wrapper: engine selection and execution live in
+    :mod:`repro.api`; this routes through the planner with the chase
+    engine forced and the non-strict (no raise on truncation) semantics.
     """
-    result = chase(database, program, **chase_kwargs)
-    return result.evaluate(query)
+    from ..api import compile_program
+    from ..api.execution import execute_plan
+    from ..api.planner import Planner
+
+    store = chase_kwargs.pop("store", "instance")
+    plan = Planner().plan(
+        compile_program(program),
+        query,
+        method="chase",
+        store=store,
+        strict=False,
+        **chase_kwargs,
+    )
+    return set(execute_plan(plan, database))

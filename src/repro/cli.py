@@ -1,19 +1,27 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Four commands cover the everyday workflow of the library:
+The everyday workflow of the library, now built on the
+:mod:`repro.api` session layer:
 
 * ``classify FILE`` — parse a program and print its class memberships
   (warded, piece-wise linear, intensionally linear, linear Datalog,
   full Datalog), the predicate levels, and the node-width bounds;
 * ``answer FILE --query "q(X,Y) :- t(X,Y)."`` — compute certain
-  answers with the auto-dispatching engine;
+  answers with the planner-dispatched engine (``--explain`` prints the
+  query plan first);
+* ``query FILE`` — load and compile a program **once**, then answer
+  many queries against it: every ``--query`` flag in order, or an
+  interactive ``?-`` loop over stdin when none is given;
 * ``chase FILE`` — run the (bounded) restricted chase and print the
   derived instance;
 * ``stats`` — regenerate the Section 1.2 recursion statistics over the
-  synthetic benchmark corpus.
+  synthetic benchmark corpus;
+* ``rewrite FILE --query ...`` — the Theorem 6.3 / Lemma 6.4 rewriting.
 
-Program files use the same Vadalog-style surface syntax the parser
-accepts everywhere else: facts ``e(a, b).`` and rules
+Every subcommand accepts ``--store`` naming a fact-storage backend
+(see :data:`repro.storage.BACKENDS`); an unknown name fails fast with
+the valid choices.  Program files use the same Vadalog-style surface
+syntax the parser accepts everywhere else: facts ``e(a, b).`` and rules
 ``t(X, Z) :- e(X, Y), t(Y, Z).`` with head-only variables existential.
 """
 
@@ -22,24 +30,30 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from .analysis import (
     is_intensionally_linear,
     is_linear_datalog,
-    is_piecewise_linear,
-    is_warded,
-    max_level,
     node_width_bound_pwl,
     node_width_bound_ward,
-    predicate_levels,
 )
+from .api import ENGINES, Session
 from .chase import chase
 from .lang.parser import parse_program, parse_query
-from .reasoning import certain_answers
 from .storage import BACKENDS
 
 __all__ = ["main", "build_parser"]
+
+
+def _store_backend(value: str) -> str:
+    """argparse type for ``--store``: validate against the registry."""
+    if value not in BACKENDS:
+        raise argparse.ArgumentTypeError(
+            f"unknown storage backend {value!r}; choose one of "
+            f"{', '.join(BACKENDS)}"
+        )
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,8 +67,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
+    # Shared by every subcommand: the fact-storage backend.
+    store_options = argparse.ArgumentParser(add_help=False)
+    store_options.add_argument(
+        "--store",
+        default="instance",
+        type=_store_backend,
+        metavar="BACKEND",
+        help="fact-storage backend for materializing engines "
+             f"({', '.join(BACKENDS)}; default: instance)",
+    )
+
     classify = commands.add_parser(
-        "classify", help="print class memberships and analysis of a program"
+        "classify",
+        parents=[store_options],
+        help="print class memberships and analysis of a program",
     )
     classify.add_argument("file", type=Path, help="program file")
     classify.add_argument(
@@ -62,7 +89,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     answer = commands.add_parser(
-        "answer", help="compute certain answers of a query"
+        "answer",
+        parents=[store_options],
+        help="compute certain answers of a query",
     )
     answer.add_argument("file", type=Path, help="program + facts file")
     answer.add_argument(
@@ -71,19 +100,45 @@ def build_parser() -> argparse.ArgumentParser:
     answer.add_argument(
         "--method",
         default="auto",
-        choices=("auto", "datalog", "pwl", "ward", "chase"),
+        choices=("auto",) + ENGINES,
         help="engine selection (default: dispatch on the program class)",
     )
     answer.add_argument(
-        "--store",
-        default="instance",
-        choices=BACKENDS,
-        help="fact-storage backend for materializing engines "
-             "(default: instance)",
+        "--explain", action="store_true",
+        help="print the query plan before the answers",
+    )
+
+    query = commands.add_parser(
+        "query",
+        parents=[store_options],
+        help="load a program once, then answer many queries against it",
+    )
+    query.add_argument("file", type=Path, help="program + facts file")
+    query.add_argument(
+        "--query", action="append", default=[], metavar="CQ",
+        help="a query to answer (repeatable; without any, read queries "
+             "interactively from stdin)",
+    )
+    query.add_argument(
+        "--method",
+        default="auto",
+        choices=("auto",) + ENGINES,
+        help="engine selection (default: dispatch on the program class)",
+    )
+    query.add_argument(
+        "--explain", action="store_true",
+        help="print each query's plan before its answers",
+    )
+    query.add_argument(
+        "--first", type=int, default=None, metavar="N",
+        help="stop each answer stream after N tuples (demonstrates the "
+             "pull-based stream: the engine is not run to completion)",
     )
 
     chase_cmd = commands.add_parser(
-        "chase", help="run the restricted chase and print the instance"
+        "chase",
+        parents=[store_options],
+        help="run the restricted chase and print the instance",
     )
     chase_cmd.add_argument("file", type=Path, help="program + facts file")
     chase_cmd.add_argument(
@@ -91,24 +146,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="instance-size budget (default 10000)",
     )
     chase_cmd.add_argument(
-        "--store",
-        default="instance",
-        choices=BACKENDS,
-        help="fact-storage backend (default: instance)",
-    )
-    chase_cmd.add_argument(
         "--memory-report", action="store_true",
         help="print the store's per-component byte accounting",
     )
 
     stats = commands.add_parser(
-        "stats", help="Section 1.2 recursion statistics over the corpus"
+        "stats",
+        parents=[store_options],
+        help="Section 1.2 recursion statistics over the corpus",
     )
     stats.add_argument("--scale", type=int, default=2)
     stats.add_argument("--seed", type=int, default=2019)
 
     rewrite = commands.add_parser(
         "rewrite",
+        parents=[store_options],
         help="rewrite (Σ, q) into an equivalent (PWL) Datalog program "
              "(Theorem 6.3 / Lemma 6.4)",
     )
@@ -128,6 +180,15 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _load_session(args) -> Session:
+    session = Session(store=args.store)
+    try:
+        session.load(Path(args.file))
+    except OSError as error:
+        raise SystemExit(f"repro: cannot read {args.file}: {error}")
+    return session
+
+
 def _load(path: Path):
     try:
         text = path.read_text()
@@ -137,22 +198,25 @@ def _load(path: Path):
 
 
 def _cmd_classify(args, out) -> int:
-    program, database = _load(args.file)
+    session = _load_session(args)
+    compiled = session.programs[0]
+    analysis = compiled.analysis
+    program = compiled.program
     print(f"program: {program.name or args.file.stem}", file=out)
-    print(f"  TGDs: {len(program)}, facts: {len(database)}", file=out)
-    print(f"  warded:               {is_warded(program)}", file=out)
-    print(f"  piece-wise linear:    {is_piecewise_linear(program)}", file=out)
+    print(f"  TGDs: {len(program)}, facts: {len(session.edb)}", file=out)
+    print(f"  warded:               {analysis.warded}", file=out)
+    print(f"  piece-wise linear:    {analysis.piecewise_linear}", file=out)
     print(f"  intensionally linear: {is_intensionally_linear(program)}",
           file=out)
     print(f"  linear Datalog:       {is_linear_datalog(program)}", file=out)
-    print(f"  full (Datalog):       {program.is_full()}", file=out)
-    normalized = program.single_head()
-    levels = predicate_levels(normalized)
-    print(f"  max predicate level:  {max_level(normalized)}", file=out)
-    for predicate in sorted(levels):
-        print(f"    level({predicate}) = {levels[predicate]}", file=out)
+    print(f"  full (Datalog):       {analysis.full}", file=out)
+    print(f"  max predicate level:  {analysis.max_level}", file=out)
+    for predicate in sorted(analysis.levels):
+        print(f"    level({predicate}) = {analysis.levels[predicate]}",
+              file=out)
     if args.query:
         query = parse_query(args.query)
+        normalized = analysis.normalized
         print(
             f"  f_WARD∩PWL(q, Σ) = "
             f"{node_width_bound_pwl(query, normalized)}",
@@ -166,15 +230,80 @@ def _cmd_classify(args, out) -> int:
     return 0
 
 
-def _cmd_answer(args, out) -> int:
-    program, database = _load(args.file)
-    query = parse_query(args.query)
-    answers = certain_answers(
-        query, database, program, method=args.method, store=args.store
-    )
-    for row in sorted(answers, key=str):
+def _answer_one(session, query_text, args, out) -> None:
+    stream = session.query(query_text, method=args.method)
+    if getattr(args, "explain", False):
+        print(stream.explain(), file=out)
+    limit = getattr(args, "first", None)
+    if limit is not None:
+        rows = stream.first(limit)
+        for row in rows:
+            print("(" + ", ".join(str(c) for c in row) + ")", file=out)
+        print(
+            f"-- first {len(rows)} answer(s), stream "
+            f"{'exhausted' if stream.exhausted else 'not exhausted'}",
+            file=out,
+        )
+        return
+    count = 0
+    for row in stream:
+        count += 1
         print("(" + ", ".join(str(c) for c in row) + ")", file=out)
-    print(f"-- {len(answers)} certain answer(s)", file=out)
+    print(f"-- {count} certain answer(s)", file=out)
+
+
+def _cmd_answer(args, out) -> int:
+    session = _load_session(args)
+    stream = session.query(args.query, method=args.method)
+    if args.explain:
+        print(stream.explain(), file=out)
+    # Canonical rendering (unlike `query`, which prints in stream
+    # order): the full set, sorted — the historical `answer` contract.
+    rows = stream.to_sorted()
+    for row in rows:
+        print("(" + ", ".join(str(c) for c in row) + ")", file=out)
+    print(f"-- {len(rows)} certain answer(s)", file=out)
+    return 0
+
+
+def _cmd_query(args, out, stdin) -> int:
+    """Compile once, answer many — the session as a subcommand."""
+    session = _load_session(args)
+    compiled = session.programs[0]
+    if args.query:
+        for index, query_text in enumerate(args.query):
+            if index:
+                print("", file=out)
+            print(f"?- {query_text.strip()}", file=out)
+            _answer_one(session, query_text, args, out)
+        return 0
+    # Interactive: one query per line until EOF / "quit".
+    stdin = stdin if stdin is not None else sys.stdin
+    interactive = getattr(stdin, "isatty", lambda: False)()
+    print(
+        f"loaded {compiled.name}: {compiled.rules} rule(s), "
+        f"{len(session.edb)} fact(s), class "
+        f"{compiled.analysis.program_class}; one query per line "
+        '(e.g. "q(X,Y) :- t(X,Y)."), "quit" to exit',
+        file=out,
+    )
+    while True:
+        if interactive:
+            print("?- ", file=out, end="", flush=True)
+        line = stdin.readline()
+        if not line:
+            break
+        line = line.strip()
+        if not line:
+            continue
+        if line in ("quit", "exit", r"\q"):
+            break
+        if not interactive:
+            print(f"?- {line}", file=out)
+        try:
+            _answer_one(session, line, args, out)
+        except Exception as error:  # keep the loop alive on bad queries
+            print(f"error: {error}", file=out)
     return 0
 
 
@@ -199,10 +328,14 @@ def _cmd_chase(args, out) -> int:
 def _cmd_rewrite(args, out) -> int:
     from .expressiveness import pwl_to_datalog, ward_to_datalog
 
-    program, _ = _load(args.file)
+    session = _load_session(args)
+    compiled = session.programs[0]
+    program = compiled.program
     query = parse_query(args.query)
     rewriter = (
-        pwl_to_datalog if is_piecewise_linear(program) else ward_to_datalog
+        pwl_to_datalog
+        if compiled.analysis.piecewise_linear
+        else ward_to_datalog
     )
     rewriting = rewriter(
         query, program, width_bound=args.width, max_states=args.max_states
@@ -236,9 +369,13 @@ def _cmd_stats(args, out) -> int:
     return 0
 
 
-def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+def main(
+    argv: Optional[Sequence[str]] = None, out=None, stdin=None
+) -> int:
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
+    if args.command == "query":
+        return _cmd_query(args, out, stdin)
     handlers = {
         "classify": _cmd_classify,
         "answer": _cmd_answer,

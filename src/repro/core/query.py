@@ -19,7 +19,37 @@ from .instance import Instance
 from .substitution import Substitution
 from .terms import Constant, Term, Variable
 
-__all__ = ["ConjunctiveQuery"]
+__all__ = ["ConjunctiveQuery", "stream_new_answers"]
+
+
+def stream_new_answers(query: "ConjunctiveQuery", events, delta_of):
+    """Surface a query's answers over an engine's event stream.
+
+    *events* is any iterator of engine events carrying ``index`` (0 for
+    the seeded database) and ``instance`` (the live store after the
+    event); ``delta_of(event)`` returns the atoms the event added.  The
+    seed event is evaluated in full; every later event is
+    delta-evaluated on its query-relevant atoms only
+    (:meth:`ConjunctiveQuery.evaluate_delta`), and each answer is
+    yielded exactly once, in sorted order within its event.  This is
+    the one answer-surfacing protocol shared by the chase, semi-naive,
+    and operator-network streams.
+    """
+    seen: set[tuple[Constant, ...]] = set()
+    predicates = query.predicates()
+    for event in events:
+        if event.index == 0:
+            fresh = query.evaluate(event.instance)
+        else:
+            relevant = [
+                a for a in delta_of(event) if a.predicate in predicates
+            ]
+            if not relevant:
+                continue
+            fresh = query.evaluate_delta(event.instance, relevant)
+        for answer in sorted(fresh - seen, key=str):
+            seen.add(answer)
+            yield answer
 
 
 @dataclass(frozen=True)
@@ -143,6 +173,48 @@ class ConjunctiveQuery:
             image = tuple(hom.apply_term(v) for v in self.output)
             if all(isinstance(t, Constant) for t in image):
                 answers.add(image)  # type: ignore[arg-type]
+        return answers
+
+    def evaluate_delta(
+        self, instance: Instance, delta: Iterable[Atom]
+    ) -> set[tuple[Constant, ...]]:
+        """``q(I)`` restricted to matches that use at least one delta atom.
+
+        *delta* must already be contained in *instance*.  Each body atom
+        is pinned to each delta atom in turn and the remaining atoms are
+        matched against the full instance, so over a run that feeds every
+        new atom through here exactly the monotone closure of
+        :meth:`evaluate` is reproduced: an answer surfaces in the round
+        whose delta completes its earliest witnessing homomorphism.
+        """
+        answers: set[tuple[Constant, ...]] = set()
+        delta_atoms = list(delta)
+        for pin_index, pinned in enumerate(self.atoms):
+            others = self.atoms[:pin_index] + self.atoms[pin_index + 1:]
+            for delta_atom in delta_atoms:
+                if (
+                    pinned.predicate != delta_atom.predicate
+                    or pinned.arity != delta_atom.arity
+                ):
+                    continue
+                seed: dict[Variable, Term] = {}
+                compatible = True
+                for p_term, d_term in zip(pinned.args, delta_atom.args):
+                    if isinstance(p_term, Variable):
+                        bound = seed.get(p_term)
+                        if bound is not None and bound != d_term:
+                            compatible = False
+                            break
+                        seed[p_term] = d_term
+                    elif p_term != d_term:
+                        compatible = False
+                        break
+                if not compatible:
+                    continue
+                for hom in homomorphisms(list(others), instance, seed):
+                    image = tuple(hom.apply_term(v) for v in self.output)
+                    if all(isinstance(t, Constant) for t in image):
+                        answers.add(image)  # type: ignore[arg-type]
         return answers
 
     def holds_in(self, instance: Instance) -> bool:

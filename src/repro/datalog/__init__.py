@@ -10,7 +10,14 @@ from .negation import (
     stratified_answers,
     stratified_fixpoint,
 )
-from .seminaive import SemiNaiveResult, datalog_answers, seminaive
+from .seminaive import (
+    SemiNaiveResult,
+    SemiNaiveRound,
+    datalog_answers,
+    seminaive,
+    seminaive_rounds,
+    stream_datalog_answers,
+)
 from .strata import (
     Strata,
     StratifiedResult,
@@ -20,8 +27,11 @@ from .strata import (
 
 __all__ = [
     "seminaive",
+    "seminaive_rounds",
     "SemiNaiveResult",
+    "SemiNaiveRound",
     "datalog_answers",
+    "stream_datalog_answers",
     "compute_strata",
     "Strata",
     "stratified_seminaive",

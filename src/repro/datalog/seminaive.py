@@ -24,13 +24,20 @@ from ..core.atoms import Atom
 from ..core.homomorphism import homomorphisms
 from ..core.instance import Database
 from ..core.program import Program
-from ..core.query import ConjunctiveQuery
+from ..core.query import ConjunctiveQuery, stream_new_answers
 from ..core.substitution import Substitution
 from ..core.terms import Constant, Term, Variable
 from ..core.tgd import TGD
 from ..storage import ColumnarStore, DeltaOverlay, FactStore, StoreChoice, make_store
 
-__all__ = ["SemiNaiveResult", "seminaive", "datalog_answers"]
+__all__ = [
+    "SemiNaiveResult",
+    "SemiNaiveRound",
+    "seminaive",
+    "seminaive_rounds",
+    "datalog_answers",
+    "stream_datalog_answers",
+]
 
 
 @dataclass
@@ -104,16 +111,33 @@ def _delta_matches(
                     yield hom
 
 
-def seminaive(
+@dataclass(frozen=True)
+class SemiNaiveRound:
+    """One pull-based event of the semi-naive fixpoint.
+
+    Round 0 carries the seeded database; each later round carries the
+    facts staged (and already merged) in that round.  ``instance`` is
+    the live store *after* the merge, shared across events.
+    """
+
+    index: int
+    staged: tuple[Atom, ...]
+    considered: int
+    instance: FactStore
+
+
+def seminaive_rounds(
     database: Database,
     program: Program,
     max_rounds: Optional[int] = None,
     *,
     store: StoreChoice = "instance",
-) -> SemiNaiveResult:
-    """Compute the least fixpoint of a Datalog program over a database.
+) -> Iterable[SemiNaiveRound]:
+    """The semi-naive fixpoint as a lazy generator of round events.
 
-    ``store`` selects the storage backend (see
+    This is the engine core; :func:`seminaive` drains it eagerly and
+    :func:`stream_datalog_answers` taps it to yield query answers as
+    each round lands.  ``store`` selects the storage backend (see
     :data:`repro.storage.BACKENDS`).  The ``"delta"`` backend runs on a
     single :class:`~repro.storage.delta.DeltaOverlay` whose writable
     layer *is* the semi-naive delta, promoted at each round boundary;
@@ -134,11 +158,10 @@ def seminaive(
         instance = make_store(store, database)
         delta = instance.fresh()
         delta.add_all(database)
+    yield SemiNaiveRound(
+        index=0, staged=tuple(database), considered=0, instance=instance
+    )
     rounds = 0
-    derived = 0
-    considered = 0
-    per_round_considered: List[int] = []
-    per_round_derived: List[int] = []
 
     while len(delta) > 0:
         if max_rounds is not None and rounds >= max_rounds:
@@ -159,7 +182,6 @@ def seminaive(
                 if fact not in instance and fact not in staged_set:
                     staged_set.add(fact)
                     staged.append(fact)
-                    derived += 1
         # Merge only after the full round: every rule joins against the
         # same snapshot, so rounds/considered are independent of rule
         # and hash iteration order.
@@ -171,10 +193,42 @@ def seminaive(
             instance.add_all(staged)
             delta = delta.fresh()
             delta.add_all(staged)
-        considered += round_considered
-        per_round_considered.append(round_considered)
-        per_round_derived.append(len(staged))
+        yield SemiNaiveRound(
+            index=rounds,
+            staged=tuple(staged),
+            considered=round_considered,
+            instance=instance,
+        )
 
+
+def seminaive(
+    database: Database,
+    program: Program,
+    max_rounds: Optional[int] = None,
+    *,
+    store: StoreChoice = "instance",
+) -> SemiNaiveResult:
+    """Compute the least fixpoint of a Datalog program over a database.
+
+    Thin eager driver over :func:`seminaive_rounds`; see there for the
+    round structure and the ``store`` semantics.
+    """
+    instance: Optional[FactStore] = None
+    rounds = 0
+    derived = 0
+    considered = 0
+    per_round_considered: List[int] = []
+    per_round_derived: List[int] = []
+    for event in seminaive_rounds(database, program, max_rounds, store=store):
+        instance = event.instance
+        if event.index == 0:
+            continue
+        rounds = event.index
+        derived += len(event.staged)
+        considered += event.considered
+        per_round_considered.append(event.considered)
+        per_round_derived.append(len(event.staged))
+    assert instance is not None
     return SemiNaiveResult(
         instance=instance,
         rounds=rounds,
@@ -185,6 +239,40 @@ def seminaive(
     )
 
 
+def stream_datalog_answers(
+    query: ConjunctiveQuery,
+    database: Database,
+    program: Program,
+    *,
+    store: StoreChoice = "instance",
+    on_fixpoint=None,
+) -> Iterable[tuple[Constant, ...]]:
+    """Yield ``cert(q, D, Σ)`` tuples as the fixpoint rounds land.
+
+    Answers are produced incrementally: after each semi-naive round that
+    staged an atom of a query predicate, the delta-restricted evaluation
+    (:meth:`~repro.core.query.ConjunctiveQuery.evaluate_delta`) emits the
+    answers whose earliest witness that round completed.  The union over
+    all rounds equals the eager :func:`datalog_answers` set.
+    ``on_fixpoint``, if given, receives the final :class:`FactStore`
+    (callers use it to cache the materialization).
+    """
+    last_instance: List[Optional[FactStore]] = [None]
+
+    def tap(events):
+        for event in events:
+            last_instance[0] = event.instance
+            yield event
+
+    yield from stream_new_answers(
+        query,
+        tap(seminaive_rounds(database, program, store=store)),
+        lambda event: event.staged,
+    )
+    if on_fixpoint is not None and last_instance[0] is not None:
+        on_fixpoint(last_instance[0])
+
+
 def datalog_answers(
     query: ConjunctiveQuery,
     database: Database,
@@ -192,5 +280,8 @@ def datalog_answers(
     *,
     store: StoreChoice = "instance",
 ) -> set[tuple[Constant, ...]]:
-    """``cert(q, D, Σ)`` for a Datalog program: evaluate over the fixpoint."""
-    return seminaive(database, program, store=store).evaluate(query)
+    """``cert(q, D, Σ)`` for a Datalog program: evaluate over the fixpoint.
+
+    Thin eager wrapper over :func:`stream_datalog_answers`.
+    """
+    return set(stream_datalog_answers(query, database, program, store=store))

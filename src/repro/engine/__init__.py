@@ -2,12 +2,14 @@
 optimizer, and guide-structure termination control (Section 7)."""
 
 from .guides import LinearForestGuide, NoGuide
-from .operators import EngineResult, OperatorNetwork
+from .operators import EngineEvent, EngineResult, EngineRun, OperatorNetwork
 from .optimizer import JoinOptimizer, JoinPlan
 
 __all__ = [
     "OperatorNetwork",
+    "EngineEvent",
     "EngineResult",
+    "EngineRun",
     "JoinOptimizer",
     "JoinPlan",
     "LinearForestGuide",

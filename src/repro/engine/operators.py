@@ -34,7 +34,7 @@ from ..storage import FactStore, StoreChoice, make_store
 from .guides import LinearForestGuide, NoGuide
 from .optimizer import JoinOptimizer, JoinPlan
 
-__all__ = ["EngineResult", "OperatorNetwork"]
+__all__ = ["EngineEvent", "EngineResult", "EngineRun", "OperatorNetwork"]
 
 
 @dataclass
@@ -47,6 +47,44 @@ class EngineResult:
     derived: int                # new atoms produced
     intermediate_bindings: int  # partial join bindings explored
     guide_cuts: int
+
+
+@dataclass(frozen=True)
+class EngineEvent:
+    """One pull-based event of a network run.
+
+    Event 0 carries the seeded database; each later event carries one
+    atom the network derived.  ``instance`` is the live store *after*
+    the addition, shared across events.
+    """
+
+    index: int
+    new_atoms: tuple[Atom, ...]
+    instance: FactStore
+
+
+@dataclass
+class EngineRun:
+    """Mutable run record shared between :meth:`OperatorNetwork.stream`
+    and its drivers; filled in as the generator is drained."""
+
+    instance: Optional[FactStore] = None
+    saturated: bool = True
+    events: int = 0
+    derived: int = 0
+    intermediate_bindings: int = 0
+    guide_cuts: int = 0
+
+    def result(self) -> EngineResult:
+        assert self.instance is not None
+        return EngineResult(
+            instance=self.instance,
+            saturated=self.saturated,
+            events=self.events,
+            derived=self.derived,
+            intermediate_bindings=self.intermediate_bindings,
+            guide_cuts=self.guide_cuts,
+        )
 
 
 class _RuleNode:
@@ -154,35 +192,42 @@ class OperatorNetwork:
 
     # -- run loop ------------------------------------------------------------
 
-    def run(
+    def stream(
         self,
         database: Database,
         *,
         max_atoms: Optional[int] = None,
         max_events: Optional[int] = None,
         store: StoreChoice = "instance",
-    ) -> EngineResult:
-        """Stream the database through the network to (bounded) fixpoint.
+        run: Optional[EngineRun] = None,
+    ):
+        """Stream the database through the network, yielding derived atoms.
 
-        ``store`` selects the backing :class:`FactStore` the network
-        materializes into (see :data:`repro.storage.BACKENDS`).
+        A lazy generator of :class:`EngineEvent`: the engine core that
+        :meth:`run` drains eagerly.  ``store`` selects the backing
+        :class:`FactStore` the network materializes into (see
+        :data:`repro.storage.BACKENDS`); progress counters accumulate on
+        *run*.
         """
+        run = run if run is not None else EngineRun()
         instance = make_store(store, database)
+        run.instance = instance
         queue: Deque[Atom] = deque(instance)
-        events = 0
-        derived = 0
         counters = [0]
-        saturated = True
+        event_index = 0
+        yield EngineEvent(
+            index=0, new_atoms=tuple(instance), instance=instance
+        )
 
         while queue:
-            if max_events is not None and events >= max_events:
-                saturated = False
+            if max_events is not None and run.events >= max_events:
+                run.saturated = False
                 break
             if max_atoms is not None and len(instance) >= max_atoms:
-                saturated = False
+                run.saturated = False
                 break
             delta_atom = queue.popleft()
-            events += 1
+            run.events += 1
             for node in self._nodes_by_predicate.get(delta_atom.predicate, ()):
                 for assignment in self._probe(node, delta_atom, instance, counters):
                     body_image = [
@@ -235,14 +280,39 @@ class OperatorNetwork:
                     if head_atom not in instance:
                         instance.add(head_atom)
                         queue.append(head_atom)
-                        derived += 1
+                        run.derived += 1
+                        event_index += 1
+                        run.intermediate_bindings = counters[0]
+                        yield EngineEvent(
+                            index=event_index,
+                            new_atoms=(head_atom,),
+                            instance=instance,
+                        )
 
-        guide_cuts = getattr(self.guide, "cuts", 0)
-        return EngineResult(
-            instance=instance,
-            saturated=saturated and not queue,
-            events=events,
-            derived=derived,
-            intermediate_bindings=counters[0],
-            guide_cuts=guide_cuts,
-        )
+        if queue:
+            run.saturated = False
+        run.intermediate_bindings = counters[0]
+        run.guide_cuts = getattr(self.guide, "cuts", 0)
+
+    def run(
+        self,
+        database: Database,
+        *,
+        max_atoms: Optional[int] = None,
+        max_events: Optional[int] = None,
+        store: StoreChoice = "instance",
+    ) -> EngineResult:
+        """Stream the database through the network to (bounded) fixpoint.
+
+        Thin eager driver over :meth:`stream`; see there for semantics.
+        """
+        run = EngineRun()
+        for _ in self.stream(
+            database,
+            max_atoms=max_atoms,
+            max_events=max_events,
+            store=store,
+            run=run,
+        ):
+            pass
+        return run.result()

@@ -13,6 +13,7 @@ from .answers import (
     UnsupportedProgramError,
     certain_answers,
     is_certain_answer,
+    stream_proof_tree_answers,
 )
 from .pwl_ward import PWLDecision, decide_pwl_ward, linear_proof_search
 from .state import Frontier, SearchStats, State, SuccessorGenerator
@@ -21,6 +22,7 @@ from .ward import WardDecision, and_or_search, decide_ward
 __all__ = [
     "certain_answers",
     "is_certain_answer",
+    "stream_proof_tree_answers",
     "AnswerReport",
     "UnsupportedProgramError",
     "decide_pwl_ward",

@@ -36,13 +36,13 @@ from ..core.instance import Database, Instance
 from ..core.program import Program
 from ..core.query import ConjunctiveQuery
 from ..core.terms import Constant, Variable
-from ..datalog.seminaive import datalog_answers
 from .pwl_ward import decide_pwl_ward
 from .ward import decide_ward
 
 __all__ = [
     "certain_answers",
     "is_certain_answer",
+    "stream_proof_tree_answers",
     "UnsupportedProgramError",
     "AnswerReport",
 ]
@@ -119,6 +119,59 @@ def _candidate_tuples(
     return tuples
 
 
+def stream_proof_tree_answers(
+    query: ConjunctiveQuery,
+    database: Database,
+    program: Program,
+    *,
+    method: str,
+    probe_depth: int = 3,
+    probe_atoms: int = 20000,
+    abstraction: Optional[Instance] = None,
+    stats=None,
+    **engine_kwargs,
+):
+    """Yield ``cert(q, D, Σ)`` tuples via the proof-tree engines, lazily.
+
+    The star abstraction (computed once — it depends only on D and Σ —
+    and reusable across queries, so callers with a cache pass it as
+    *abstraction*) bounds the candidate tuples completely and doubles as
+    the shared pruning oracle; the bounded chase probe settles the cheap
+    positives, which stream out first, and only the remaining candidates
+    go through a per-tuple decision run, each accepted tuple yielded as
+    soon as its run returns.  *stats*, if given, receives
+    ``probe_answers`` and ``decided_tuples`` attributes as they accrue.
+    """
+    if method not in ("pwl", "ward"):
+        raise ValueError(f"unknown method {method!r}")
+    from .abstraction import star_abstraction
+
+    if abstraction is None:
+        oracle = engine_kwargs.get("oracle")
+        abstraction = (
+            oracle
+            if isinstance(oracle, Instance)
+            else star_abstraction(database, program.single_head())
+        )
+    if "oracle" not in engine_kwargs and engine_kwargs.get("use_oracle", True):
+        engine_kwargs["oracle"] = abstraction
+    probe = _probe_instance(database, program, probe_depth, probe_atoms)
+    probe_answers = query.evaluate(probe)
+    if stats is not None:
+        stats.probe_answers = len(probe_answers)
+    for answer in sorted(probe_answers, key=str):
+        yield answer
+    decide = decide_pwl_ward if method == "pwl" else decide_ward
+    candidates = _candidate_tuples(query, abstraction)
+    for candidate in sorted(candidates - probe_answers, key=str):
+        if stats is not None:
+            stats.decided_tuples += 1
+        if decide(
+            query, candidate, database, program, **engine_kwargs
+        ).accepted:
+            yield candidate
+
+
 def certain_answers(
     query: ConjunctiveQuery,
     database: Database,
@@ -133,80 +186,43 @@ def certain_answers(
     """Compute ``cert(q, D, Σ)``.
 
     ``method``: ``"auto"`` (dispatch on the program class), ``"datalog"``,
-    ``"pwl"``, ``"ward"``, or ``"chase"``.  With ``report=True`` an
-    :class:`AnswerReport` is returned instead of the bare answer set.
-    Engine keyword arguments (``width_bound``, ``specialization``,
-    ``max_depth``, ...) are forwarded to the decision engines.
-    ``store`` selects the fact-storage backend for the materializing
-    methods (``"datalog"`` and ``"chase"``); the proof-tree engines hold
-    bounded CQs, not instances, so they ignore it.
+    ``"pwl"``, ``"ward"``, ``"chase"``, or ``"network"``.  With
+    ``report=True`` an :class:`AnswerReport` is returned instead of the
+    bare answer set.  Engine keyword arguments (``width_bound``,
+    ``specialization``, ``max_depth``, ...) are forwarded to the
+    decision engines.  ``store`` selects the fact-storage backend for
+    the materializing methods; the proof-tree engines hold bounded CQs,
+    not instances, so they ignore it.
+
+    Thin deprecated wrapper: engine selection lives in
+    :class:`repro.api.Planner` and execution in :mod:`repro.api`; prefer
+    :class:`repro.api.Session`, which additionally caches the compiled
+    analysis, abstraction, and materializations across queries.
     """
+    from ..api import compile_program
+    from ..api.execution import execute_plan
+    from ..api.planner import Planner
+
     store = engine_kwargs.pop("store", "instance")
-    if method == "auto":
-        if program.is_full() and program.is_single_head():
-            method = "datalog"
-        elif is_warded(program):
-            method = "pwl" if is_piecewise_linear(program) else "ward"
-        else:
-            method = "chase"
-
-    if method == "datalog":
-        answers = datalog_answers(query, database, program, store=store)
-        result = AnswerReport(answers=answers, method="datalog")
-        return result if report else result.answers
-
-    if method == "chase":
-        chase_result = chase(
-            database,
-            program,
-            variant="restricted",
-            max_atoms=engine_kwargs.pop("max_atoms", 200000),
-            max_steps=engine_kwargs.pop("max_steps", 400000),
-            store=store,
-        )
-        if not chase_result.saturated:
-            raise UnsupportedProgramError(
-                "the chase did not terminate within the limits and the "
-                "program is outside WARD; certain answers cannot be "
-                "computed exactly (cf. Theorem 5.1: CQAns(PWL) alone is "
-                "undecidable)"
-            )
-        answers = chase_result.evaluate(query)
-        result = AnswerReport(answers=answers, method="chase")
-        return result if report else result.answers
-
-    if method not in ("pwl", "ward"):
-        raise ValueError(f"unknown method {method!r}")
-
-    # Proof-tree engines: the star abstraction (computed once — it
-    # depends only on D and Σ) bounds the candidate tuples completely
-    # and doubles as the shared pruning oracle; the bounded probe then
-    # settles the cheap positives.
-    from .abstraction import star_abstraction
-
-    abstraction = engine_kwargs.get("oracle")
-    if not isinstance(abstraction, Instance):
-        abstraction = star_abstraction(database, program.single_head())
-    if "oracle" not in engine_kwargs and engine_kwargs.get("use_oracle", True):
-        engine_kwargs["oracle"] = abstraction
-    probe = _probe_instance(database, program, probe_depth, probe_atoms)
-    probe_answers = query.evaluate(probe)
-    candidates = _candidate_tuples(query, abstraction)
-    answers = set(probe_answers)
-    decided = 0
-    for candidate in sorted(candidates - probe_answers, key=str):
-        decided += 1
-        if is_certain_answer(
-            query, candidate, database, program, method=method, **engine_kwargs
-        ):
-            answers.add(candidate)
-    result = AnswerReport(
-        answers=answers,
+    plan = Planner().plan(
+        compile_program(program),
+        query,
         method=method,
-        probe_answers=len(probe_answers),
-        decided_tuples=decided,
+        store=store,
+        probe_depth=probe_depth,
+        probe_atoms=probe_atoms,
+        **engine_kwargs,
     )
-    return result if report else result.answers
+    stream = execute_plan(plan, database)
+    answers = stream.to_set()
+    if report:
+        return AnswerReport(
+            answers=set(answers),
+            method=plan.method,
+            probe_answers=stream.stats.probe_answers,
+            decided_tuples=stream.stats.decided_tuples,
+        )
+    return set(answers)
 
 
 def is_certain_answer(

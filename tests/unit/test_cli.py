@@ -95,6 +95,99 @@ class TestStats:
         assert "piece-wise linear total" in output
 
 
+class TestQuery:
+    """The compile-once-query-many subcommand."""
+
+    def test_many_queries_one_load(self, program_file):
+        code, output = run(
+            [
+                "query", str(program_file),
+                "--query", "q(X,Y) :- t(X,Y).",
+                "--query", "q(X) :- t(a,X).",
+            ]
+        )
+        assert code == 0
+        assert "?- q(X,Y) :- t(X,Y)." in output
+        assert "3 certain answer(s)" in output
+        assert "?- q(X) :- t(a,X)." in output
+        assert "2 certain answer(s)" in output
+
+    def test_stdin_repl(self, program_file):
+        stdin = io.StringIO("q(X,Y) :- t(X,Y).\nnot a query\nquit\n")
+        out = io.StringIO()
+        code = main(["query", str(program_file)], out=out, stdin=stdin)
+        output = out.getvalue()
+        assert code == 0
+        assert "loaded tc" in output
+        assert "3 certain answer(s)" in output
+        assert "error:" in output          # bad query keeps the loop alive
+
+    def test_explain_prints_plan(self, program_file):
+        code, output = run(
+            [
+                "query", str(program_file),
+                "--query", "q(X,Y) :- t(X,Y).",
+                "--explain",
+            ]
+        )
+        assert code == 0
+        assert "engine  : datalog" in output
+        assert "pipeline:" in output
+
+    def test_first_leaves_stream_unexhausted(self, program_file):
+        code, output = run(
+            [
+                "query", str(program_file),
+                "--query", "q(X,Y) :- t(X,Y).",
+                "--first", "1",
+            ]
+        )
+        assert code == 0
+        assert "first 1 answer(s)" in output
+        assert "not exhausted" in output
+
+
+class TestStoreOption:
+    """--store is accepted by every subcommand and validated."""
+
+    @pytest.mark.parametrize(
+        "argv_tail",
+        [
+            ["--query", "q(X,Y) :- t(X,Y)."],
+            [],
+        ],
+    )
+    def test_answer_and_chase_accept_backends(self, program_file, argv_tail):
+        command = "answer" if argv_tail else "chase"
+        for backend in ("instance", "columnar", "delta"):
+            code, _ = run(
+                [command, str(program_file), "--store", backend] + argv_tail
+            )
+            assert code == 0
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["classify", "FILE"],
+            ["answer", "FILE", "--query", "q(X,Y) :- t(X,Y)."],
+            ["query", "FILE", "--query", "q(X,Y) :- t(X,Y)."],
+            ["chase", "FILE"],
+            ["stats"],
+            ["rewrite", "FILE", "--query", "q(X,Y) :- t(X,Y)."],
+        ],
+    )
+    def test_every_subcommand_validates_store(self, program_file, argv,
+                                              capsys):
+        argv = [
+            str(program_file) if token == "FILE" else token for token in argv
+        ]
+        with pytest.raises(SystemExit):
+            run(argv + ["--store", "bogus"])
+        stderr = capsys.readouterr().err
+        assert "unknown storage backend 'bogus'" in stderr
+        assert "instance, columnar, delta" in stderr
+
+
 class TestParserErrors:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
