@@ -21,13 +21,12 @@ CI artifact) in addition to the usual report table.
 
 from __future__ import annotations
 
-import json
 import time
 
 from repro.api import Session
 from repro.reasoning.answers import certain_answers
 
-from conftest import RESULTS_DIR
+from conftest import write_json_result
 from workloads import tc_linear_chain
 
 CHAIN_N = 64
@@ -124,10 +123,7 @@ def test_bench_api_compile_once(report):
         "full_set_seconds": first_answer_seconds + rest_seconds,
         "analysis_runs": compiled.analysis_runs,
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_api.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
-    )
+    write_json_result("BENCH_api.json", payload)
 
     report(
         "API — compile once, query many (E2 chain scenario)",

@@ -17,13 +17,12 @@ Besides the usual report table, the harness writes
 
 from __future__ import annotations
 
-import json
 import time
 
 from repro.chase import chase
 from repro.storage import BACKENDS, traced_peak
 
-from conftest import RESULTS_DIR
+from conftest import write_json_result
 from workloads import reachability_query, tc_linear_chain
 
 SIZES = (16, 32, 64, 128)
@@ -97,10 +96,7 @@ def test_e13_storage_backends(benchmark, report):
         ),
     )
 
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "e13_storage.json").write_text(
-        json.dumps({"sizes": list(SIZES), "rows": rows}, indent=2) + "\n"
-    )
+    write_json_result("e13_storage.json", {"sizes": list(SIZES), "rows": rows})
 
     # The space-efficiency acceptance bar: on the largest workload the
     # columnar backend is resident-smaller than the object-set Instance.

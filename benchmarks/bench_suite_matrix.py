@@ -1,0 +1,88 @@
+"""BENCH suite — the scenario matrix, end to end (pytest / CI entry).
+
+Drives :func:`repro.benchsuite.harness.run_matrix` at smoke scale:
+all five generator families × every plannable engine × every storage
+backend, each cell executed through ``repro.api.Session`` with wall
+time, answer counts, engine work counters, and per-component
+``memory_report()`` bytes.  The consolidated artifact lands in
+``benchmarks/results/BENCH_suite.json`` (the CI upload).
+
+The assertions are the acceptance bar:
+
+* every family yields successful cells on ≥ 2 engines and ≥ 2 storage
+  backends,
+* every (scenario, query) group's successful cells agree on the exact
+  certain-answer set across engines *and* backends,
+* no cell errored (budget-limited ``not-saturated`` cells are expected
+  for the non-terminating warded chases and are excluded from the
+  agreement check by construction).
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite import run_matrix
+
+from conftest import write_json_result
+
+SCALE = "smoke"
+
+
+def test_bench_suite_matrix(report):
+    suite_report = run_matrix(scale=SCALE)
+    write_json_result("BENCH_suite.json", suite_report.as_dict())
+
+    report(
+        "BENCH suite: scenario matrix (suite × engine × store, "
+        f"scale={SCALE})",
+        ("scenario", "engine", "store", "status", "seconds", "answers",
+         "resident"),
+        suite_report.summary_rows(),
+        notes=(
+            f"{suite_report.agreement_groups_checked} (scenario, query) "
+            f"group(s) cross-checked for exact answer agreement; "
+            f"{len(suite_report.disagreements)} disagreement(s); "
+            "resident = memory_report().total_bytes of the cell's "
+            "materialization (fixpoint store, or EDB + star abstraction "
+            "for the proof-tree engines).",
+        ),
+    )
+
+    # The matrix must actually cover the paper's five families ...
+    assert set(suite_report.suites) == {
+        "iwarded", "ibench", "chasebench", "dbpedia", "industrial"
+    }
+    # ... with at least two exact engines and two backends per family.
+    for suite, engines in suite_report.engines_ok_per_suite().items():
+        assert len(engines) >= 2, f"{suite}: only {sorted(engines)} succeeded"
+    for suite, stores in suite_report.stores_ok_per_suite().items():
+        assert len(stores) >= 2, f"{suite}: only {sorted(stores)} succeeded"
+    # The per-suite store coverage above includes the proof-tree cells
+    # shared across stores (store-independent by construction, labeled
+    # in `detail`), so additionally require that wherever a
+    # store-*dependent* (materializing) engine succeeded, at least two
+    # backends actually executed — copies can't satisfy this one.
+    for suite in suite_report.suites:
+        executed = {
+            cell.store
+            for cell in suite_report.ok_cells
+            if cell.suite == suite
+            and cell.engine in ("datalog", "chase", "network")
+        }
+        if executed:
+            assert len(executed) >= 2, f"{suite}: only {sorted(executed)}"
+    # Sharing is only ever legal for the proof-tree engines.
+    for cell in suite_report.ok_cells:
+        if "shared from" in cell.detail:
+            assert cell.engine in ("pwl", "ward"), cell.engine
+
+    # Cross-engine / cross-store correctness, and no crashed cells.
+    assert suite_report.disagreements == []
+    assert suite_report.error_cells == []
+
+    # Every successful cell carries the measurements the artifact
+    # promises: wall time, answers, and resident-byte accounting.
+    for cell in suite_report.ok_cells:
+        assert cell.seconds >= 0
+        assert cell.answer_digest
+        assert cell.resident_bytes > 0, (cell.engine, cell.store)
+        assert cell.memory

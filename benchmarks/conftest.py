@@ -8,13 +8,30 @@ row the reproduction targets (DESIGN.md §4, EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import json
 import re
 from pathlib import Path
 from typing import Sequence
 
 import pytest
 
+#: Resolved against this file, never the process cwd — ``pytest
+#: /path/to/repo/benchmarks`` from anywhere writes to the same place.
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def write_json_result(name: str, payload) -> Path:
+    """Archive one benchmark's raw numbers as JSON under ``results/``.
+
+    The shared writer for every harness that emits a machine-readable
+    artifact (``BENCH_api.json``, ``BENCH_suite.json``, ...): one place
+    resolves the destination (file-relative, cwd-independent) and
+    creates the directory.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
 
 
 def format_table(

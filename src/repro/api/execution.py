@@ -89,6 +89,7 @@ def execute_plan(
                 program,
                 store=plan.store,
                 on_fixpoint=on_fixpoint,
+                stats=stats,
             )
             stats.saturated = True
 
@@ -125,6 +126,7 @@ def execute_plan(
                 **chase_kwargs,
             )
             stats.saturated = run.saturated
+            stats.events = run.fired
             if strict and not run.saturated:
                 raise UnsupportedProgramError(_NOT_SATURATED)
 
@@ -183,6 +185,7 @@ def execute_plan(
                 **net_kwargs,
             )
             stats.saturated = run.saturated
+            stats.events = run.events
             if run.saturated and session is not None:
                 session.set_fixpoint(plan, run.instance)
             if strict and not run.saturated:

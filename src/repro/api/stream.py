@@ -28,12 +28,18 @@ class StreamStats:
     :class:`~repro.reasoning.answers.AnswerReport` fields (proof-tree
     engines only); ``saturated`` reports fixpoint completion for the
     materializing engines; ``from_cache`` marks a session cache hit
-    (a reused materialization — no engine run at all).
+    (a reused materialization — no engine run at all).  ``rounds``
+    counts semi-naive fixpoint rounds (datalog engine) and ``events``
+    counts engine steps — chase trigger firings or operator-network
+    delta events — so the benchmark harness can report work per cell
+    without re-running the engine.
     """
 
     method: str = ""
     probe_answers: int = 0
     decided_tuples: int = 0
+    rounds: int = 0
+    events: int = 0
     saturated: Optional[bool] = None
     from_cache: bool = False
 

@@ -16,6 +16,11 @@ The everyday workflow of the library, now built on the
   derived instance;
 * ``stats`` — regenerate the Section 1.2 recursion statistics over the
   synthetic benchmark corpus;
+* ``bench`` — run the scenario-matrix benchmark suite (all five
+  families × engines × storage backends) through the session layer,
+  cross-check answers across cells, and write one consolidated
+  ``BENCH_suite.json`` (``--scale``, ``--suite``, ``--engine``,
+  ``--store``, ``--out``);
 * ``rewrite FILE --query ...`` — the Theorem 6.3 / Lemma 6.4 rewriting.
 
 Every subcommand accepts ``--store`` naming a fact-storage backend
@@ -46,6 +51,14 @@ from .storage import BACKENDS
 __all__ = ["main", "build_parser"]
 
 
+#: Mirror of ``repro.benchsuite.harness`` constants (SCALES keys and
+#: SUITES), kept static here so building the parser never imports the
+#: harness and its five generator modules; a unit test pins the mirror
+#: to the source of truth.
+BENCH_SCALES = ("smoke", "small", "medium")
+BENCH_SUITES = ("iwarded", "ibench", "chasebench", "dbpedia", "industrial")
+
+
 def _store_backend(value: str) -> str:
     """argparse type for ``--store``: validate against the registry."""
     if value not in BACKENDS:
@@ -54,6 +67,17 @@ def _store_backend(value: str) -> str:
             f"{', '.join(BACKENDS)}"
         )
     return value
+
+
+def _positive_int(value: str) -> int:
+    """argparse type for counts that must be >= 1."""
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {value!r}")
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {parsed}")
+    return parsed
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -157,6 +181,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument("--scale", type=int, default=2)
     stats.add_argument("--seed", type=int, default=2019)
+
+    bench = commands.add_parser(
+        "bench",
+        help="run the scenario-matrix benchmark suite (all five "
+             "families × engines × storage backends) and write one "
+             "consolidated BENCH_suite.json",
+    )
+    bench.add_argument(
+        "--scale", default="smoke", choices=BENCH_SCALES,
+        help="corpus size / engine budget knob (default: smoke)",
+    )
+    bench.add_argument(
+        "--suite", action="append", default=None, choices=BENCH_SUITES,
+        metavar="SUITE",
+        help=f"benchmark family to include (repeatable; default: all of "
+             f"{', '.join(BENCH_SUITES)})",
+    )
+    bench.add_argument(
+        "--engine", action="append", default=None, choices=ENGINES,
+        metavar="ENGINE",
+        help=f"engine to run (repeatable; default: all of "
+             f"{', '.join(ENGINES)})",
+    )
+    bench.add_argument(
+        "--store", action="append", default=None, type=_store_backend,
+        metavar="BACKEND",
+        help=f"storage backend to run (repeatable; default: all of "
+             f"{', '.join(BACKENDS)})",
+    )
+    bench.add_argument(
+        "--queries", type=_positive_int, default=1, metavar="N",
+        help="queries per scenario (default 1)",
+    )
+    bench.add_argument("--seed", type=int, default=2019)
+    bench.add_argument(
+        "--out", type=Path,
+        default=Path("benchmarks/results/BENCH_suite.json"),
+        help="where to write the consolidated JSON artifact "
+             "(default: benchmarks/results/BENCH_suite.json, relative "
+             "to the working directory)",
+    )
 
     rewrite = commands.add_parser(
         "rewrite",
@@ -352,6 +417,63 @@ def _cmd_rewrite(args, out) -> int:
     return 0 if rewriting.complete else 3
 
 
+def _cmd_bench(args, out) -> int:
+    """The scenario-matrix suite: one command, one JSON artifact."""
+    from .benchsuite.harness import SUITES, run_matrix
+
+    def progress(cell):
+        line = (
+            f"{cell.suite}/{cell.scenario}  {cell.engine}×{cell.store}  "
+            f"{cell.status}"
+        )
+        if cell.status == "ok":
+            line += (
+                f"  {cell.seconds:.3f}s  {cell.answers} answer(s)  "
+                f"{cell.resident_bytes / 1024:.0f} KiB resident"
+            )
+        print(line, file=out)
+
+    # dict.fromkeys: repeatable flags dedupe while keeping order, so
+    # `--engine pwl --engine pwl` doesn't run every cell twice.
+    report = run_matrix(
+        engines=tuple(dict.fromkeys(args.engine)) if args.engine else ENGINES,
+        stores=tuple(dict.fromkeys(args.store)) if args.store else BACKENDS,
+        scale=args.scale,
+        base_seed=args.seed,
+        suites=tuple(dict.fromkeys(args.suite)) if args.suite else SUITES,
+        queries_per_scenario=args.queries,
+        progress=progress,
+    )
+    path = report.write(args.out)
+    ok = len(report.ok_cells)
+    print(
+        f"-- {len(report.cells)} cells ({ok} ok), "
+        f"{report.agreement_groups_checked} (scenario, query) group(s) "
+        f"cross-checked, {len(report.disagreements)} disagreement(s)",
+        file=out,
+    )
+    print(f"-- wrote {path}", file=out)
+    for record in report.disagreements:
+        print(f"DISAGREEMENT: {record}", file=out)
+    for cell in report.error_cells:
+        print(
+            f"ERROR CELL: {cell.suite}/{cell.scenario} "
+            f"{cell.engine}×{cell.store}: {cell.detail}",
+            file=out,
+        )
+    if ok == 0:
+        # A matrix where every cell was skipped or failed measured
+        # nothing — a silent green here would let a typo'd slice pass
+        # CI without a single number behind it.
+        print(
+            "-- no successful cells: the selected suites/engines/stores "
+            "measured nothing",
+            file=out,
+        )
+        return 3
+    return 0 if not report.disagreements and not report.error_cells else 3
+
+
 def _cmd_stats(args, out) -> int:
     from .benchsuite import classify_corpus, default_corpus
 
@@ -381,6 +503,7 @@ def main(
         "answer": _cmd_answer,
         "chase": _cmd_chase,
         "stats": _cmd_stats,
+        "bench": _cmd_bench,
         "rewrite": _cmd_rewrite,
     }
     return handlers[args.command](args, out)

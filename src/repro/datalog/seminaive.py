@@ -246,6 +246,7 @@ def stream_datalog_answers(
     *,
     store: StoreChoice = "instance",
     on_fixpoint=None,
+    stats=None,
 ) -> Iterable[tuple[Constant, ...]]:
     """Yield ``cert(q, D, Σ)`` tuples as the fixpoint rounds land.
 
@@ -255,13 +256,16 @@ def stream_datalog_answers(
     answers whose earliest witness that round completed.  The union over
     all rounds equals the eager :func:`datalog_answers` set.
     ``on_fixpoint``, if given, receives the final :class:`FactStore`
-    (callers use it to cache the materialization).
+    (callers use it to cache the materialization).  ``stats``, if given,
+    receives a running ``rounds`` attribute.
     """
     last_instance: List[Optional[FactStore]] = [None]
 
     def tap(events):
         for event in events:
             last_instance[0] = event.instance
+            if stats is not None:
+                stats.rounds = event.index
             yield event
 
     yield from stream_new_answers(

@@ -31,7 +31,7 @@ from ..core.program import Program
 from ..core.query import ConjunctiveQuery
 from ..core.terms import Constant
 from ..reasoning.abstraction import star_abstraction
-from ..reasoning.answers import _candidate_tuples, _probe_instance
+from ..reasoning.answers import candidate_tuples, probe_instance
 from ..reasoning.pwl_ward import decide_pwl_ward
 from ..reasoning.ward import decide_ward
 
@@ -97,11 +97,11 @@ def parallel_certain_answers(
     if "oracle" not in engine_kwargs and engine_kwargs.get("use_oracle", True):
         engine_kwargs["oracle"] = abstraction
 
-    probe = _probe_instance(database, program, probe_depth, probe_atoms)
+    probe = probe_instance(database, program, probe_depth, probe_atoms)
     probe_answers = query.evaluate(probe)
     # Candidate pools come from the abstraction (complete); the probe
     # only pre-settles positives — same split as the sequential facade.
-    candidates = sorted(_candidate_tuples(query, abstraction) - probe_answers,
+    candidates = sorted(candidate_tuples(query, abstraction) - probe_answers,
                         key=str)
 
     per_tuple_cost: Dict[Answer, int] = {}

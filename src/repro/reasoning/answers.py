@@ -43,6 +43,8 @@ __all__ = [
     "certain_answers",
     "is_certain_answer",
     "stream_proof_tree_answers",
+    "probe_instance",
+    "candidate_tuples",
     "UnsupportedProgramError",
     "AnswerReport",
 ]
@@ -62,13 +64,19 @@ class AnswerReport:
     decided_tuples: int = 0      # candidate tuples sent to a decision engine
 
 
-def _probe_instance(
+def probe_instance(
     database: Database,
     program: Program,
-    probe_depth: int,
-    probe_atoms: int,
+    probe_depth: int = 3,
+    probe_atoms: int = 20000,
 ) -> Instance:
-    """A bounded chase used to seed candidates (sound under-approximation)."""
+    """A bounded chase used to seed candidates (sound under-approximation).
+
+    Public hook shared by the per-tuple drivers: the streaming facade
+    below and :func:`repro.parallel.executor.parallel_certain_answers`
+    both split the work into "probe settles the cheap positives, a
+    decision engine settles the rest", and this is the probe half.
+    """
     result = chase(
         database,
         program,
@@ -79,7 +87,7 @@ def _probe_instance(
     return result.instance
 
 
-def _candidate_tuples(
+def candidate_tuples(
     query: ConjunctiveQuery, abstraction: Instance
 ) -> Set[Tuple[Constant, ...]]:
     """All output tuples the star abstraction makes conceivable.
@@ -119,6 +127,12 @@ def _candidate_tuples(
     return tuples
 
 
+# Backwards-compatible aliases: these started as module internals and
+# external drivers imported them by their private names.
+_probe_instance = probe_instance
+_candidate_tuples = candidate_tuples
+
+
 def stream_proof_tree_answers(
     query: ConjunctiveQuery,
     database: Database,
@@ -155,14 +169,14 @@ def stream_proof_tree_answers(
         )
     if "oracle" not in engine_kwargs and engine_kwargs.get("use_oracle", True):
         engine_kwargs["oracle"] = abstraction
-    probe = _probe_instance(database, program, probe_depth, probe_atoms)
+    probe = probe_instance(database, program, probe_depth, probe_atoms)
     probe_answers = query.evaluate(probe)
     if stats is not None:
         stats.probe_answers = len(probe_answers)
     for answer in sorted(probe_answers, key=str):
         yield answer
     decide = decide_pwl_ward if method == "pwl" else decide_ward
-    candidates = _candidate_tuples(query, abstraction)
+    candidates = candidate_tuples(query, abstraction)
     for candidate in sorted(candidates - probe_answers, key=str):
         if stats is not None:
             stats.decided_tuples += 1

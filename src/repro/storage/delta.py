@@ -43,6 +43,13 @@ class DeltaOverlay(FactStore):
     ):
         self._base = base if base is not None else ColumnarStore()
         self._delta = self._base.fresh()
+        # Shadow accounting: how many delta atoms are *also* in the base
+        # (possible because the base is frozen only by convention), with
+        # the layer lengths the count was valid for.  add() keeps the
+        # key current on the fast path; any mutation that bypasses the
+        # overlay changes a layer length and forces a recount.
+        self._overlap_count = 0
+        self._overlap_key: Optional[tuple[int, int]] = (len(self._base), 0)
         self.promotions = 0
         self.add_all(atoms)
 
@@ -61,35 +68,84 @@ class DeltaOverlay(FactStore):
     def add(self, atom: Atom) -> bool:
         if atom in self._base:
             return False
-        return self._delta.add(atom)
+        added = self._delta.add(atom)
+        if added and self._overlap_key == (
+            len(self._base), len(self._delta) - 1
+        ):
+            # Both layers were exactly as the cached count last saw
+            # them, and the new delta atom is not in the base: the
+            # count stays valid for the grown delta.  Any other shape
+            # means a layer was mutated behind the overlay's back, and
+            # the stale key forces a recount on the next read.
+            self._overlap_key = (self._overlap_key[0], len(self._delta))
+        return added
+
+    def _overlap(self) -> int:
+        """How many delta atoms the base shadows (cached, recounted
+        whenever either layer was mutated behind the overlay's back)."""
+        key = (len(self._base), len(self._delta))
+        if key != self._overlap_key:
+            self._overlap_count = sum(
+                1 for atom in self._delta if atom in self._base
+            )
+            self._overlap_key = key
+        return self._overlap_count
 
     def promote(self) -> int:
         """Merge the delta into the base; return how many atoms moved."""
         moved = self._base.add_all(self._delta)
         self._delta = self._base.fresh()
+        self._overlap_count = 0
+        self._overlap_key = (len(self._base), 0)
         self.promotions += 1
         return moved
 
     # -- membership and iteration -----------------------------------------
+
+    def _unshadowed(self, atoms: Iterable[Atom]) -> Iterator[Atom]:
+        """Delta atoms not also present in the (mutable) base.
+
+        The insert-time guard in :meth:`add` keeps the layers disjoint
+        only as long as the base never changes; an atom added to the
+        base afterwards (it is frozen by convention, not enforcement)
+        would otherwise be reported twice by every read path.
+        """
+        if self._overlap() == 0:
+            # The common case — the base really was left frozen — keeps
+            # the zero-overhead read path: no per-atom membership probe
+            # in the engines' inner join loops.
+            yield from atoms
+            return
+        for atom in atoms:
+            if atom not in self._base:
+                yield atom
 
     def __contains__(self, atom: object) -> bool:
         return atom in self._base or atom in self._delta
 
     def __iter__(self) -> Iterator[Atom]:
         yield from self._base
-        yield from self._delta
+        yield from self._unshadowed(self._delta)
 
     def __len__(self) -> int:
-        return len(self._base) + len(self._delta)
+        return len(self._base) + len(self._delta) - self._overlap()
 
     def count(self, predicate: Optional[str] = None) -> int:
-        return self._base.count(predicate) + self._delta.count(predicate)
+        if predicate is None:
+            return len(self)
+        if self._overlap() == 0:
+            # No shadowed atoms anywhere: delegate so each backend
+            # keeps its O(1)/index-based counting path.
+            return self._base.count(predicate) + self._delta.count(predicate)
+        return self._base.count(predicate) + sum(
+            1 for _ in self._unshadowed(self._delta.by_predicate(predicate))
+        )
 
     # -- retrieval ---------------------------------------------------------
 
     def by_predicate(self, predicate: str) -> Iterator[Atom]:
         yield from self._base.by_predicate(predicate)
-        yield from self._delta.by_predicate(predicate)
+        yield from self._unshadowed(self._delta.by_predicate(predicate))
 
     def predicates(self) -> set[str]:
         return self._base.predicates() | self._delta.predicates()
@@ -101,12 +157,14 @@ class DeltaOverlay(FactStore):
         arity: Optional[int] = None,
     ) -> Iterator[Atom]:
         yield from self._base.matching_bound(predicate, bound, arity)
-        yield from self._delta.matching_bound(predicate, bound, arity)
+        yield from self._unshadowed(
+            self._delta.matching_bound(predicate, bound, arity)
+        )
 
     def matching(self, pattern: Atom) -> Iterator[Atom]:
         # Delegate per layer so each backend keeps its optimized path.
         yield from self._base.matching(pattern)
-        yield from self._delta.matching(pattern)
+        yield from self._unshadowed(self._delta.matching(pattern))
 
     # -- lifecycle ---------------------------------------------------------
 

@@ -330,3 +330,36 @@ class TestExecutePlan:
         stream = execute_plan(plan, database)
         assert set(stream.to_set()) == TC_ANSWERS
         assert stream.stats.probe_answers == 3
+
+    def test_rounds_and_events_populated(self):
+        program, database = parse_program(TC_SOURCE)
+        compiled = compile_program(program)
+
+        datalog = execute_plan(
+            Planner().plan(
+                compiled, parse_query("q(X,Y) :- t(X,Y)."), method="datalog"
+            ),
+            database,
+        )
+        assert set(datalog.to_set()) == TC_ANSWERS
+        # Chain a→b→c closes in 2 staging rounds plus the empty round
+        # that witnesses the fixpoint.
+        assert datalog.stats.rounds == 3
+
+        chase_stream = execute_plan(
+            Planner().plan(
+                compiled, parse_query("q(X,Y) :- t(X,Y)."), method="chase"
+            ),
+            database,
+        )
+        assert set(chase_stream.to_set()) == TC_ANSWERS
+        assert chase_stream.stats.events == 3  # one firing per t-fact
+
+        network = execute_plan(
+            Planner().plan(
+                compiled, parse_query("q(X,Y) :- t(X,Y)."), method="network"
+            ),
+            database,
+        )
+        assert set(network.to_set()) == TC_ANSWERS
+        assert network.stats.events > 0

@@ -95,6 +95,68 @@ class TestStats:
         assert "piece-wise linear total" in output
 
 
+class TestBench:
+    def test_choice_mirrors_match_harness(self):
+        # The parser's static choices must track the harness constants.
+        from repro.benchsuite.harness import SCALES, SUITES
+        from repro.cli import BENCH_SCALES, BENCH_SUITES
+
+        assert BENCH_SCALES == tuple(SCALES)
+        assert BENCH_SUITES == SUITES
+
+    def test_matrix_subcommand_writes_artifact(self, tmp_path):
+        import json
+
+        out_path = tmp_path / "results" / "BENCH_suite.json"
+        code, output = run(
+            [
+                "bench", "--scale", "smoke",
+                "--suite", "industrial",
+                "--engine", "pwl", "--engine", "ward",
+                "--store", "instance", "--store", "columnar",
+                "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        assert "0 disagreement(s)" in output
+        assert f"wrote {out_path}" in output
+        payload = json.loads(out_path.read_text())
+        assert payload["scale"] == "smoke"
+        assert payload["suites"] == ["industrial"]
+        assert {c["engine"] for c in payload["cells"]} == {"pwl", "ward"}
+        assert {c["store"] for c in payload["cells"]} == {
+            "instance", "columnar"
+        }
+        assert all(c["status"] == "ok" for c in payload["cells"])
+
+    def test_rejects_unknown_engine_and_store(self, tmp_path):
+        with pytest.raises(SystemExit):
+            run(["bench", "--engine", "warp"])
+        with pytest.raises(SystemExit):
+            run(["bench", "--store", "ram"])
+
+    def test_rejects_nonpositive_queries(self, tmp_path):
+        # argparse-level rejection: usage error, nothing runs.
+        with pytest.raises(SystemExit):
+            run(
+                ["bench", "--queries", "0",
+                 "--out", str(tmp_path / "b.json")]
+            )
+
+    def test_vacuous_matrix_fails(self, tmp_path):
+        # Every iwarded cell is skipped for the datalog engine (the
+        # programs have existentials): measuring nothing must not exit 0.
+        code, output = run(
+            [
+                "bench", "--scale", "smoke", "--suite", "iwarded",
+                "--engine", "datalog", "--store", "instance",
+                "--out", str(tmp_path / "b.json"),
+            ]
+        )
+        assert code == 3
+        assert "no successful cells" in output
+
+
 class TestQuery:
     """The compile-once-query-many subcommand."""
 

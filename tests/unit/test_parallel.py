@@ -77,6 +77,36 @@ def tc_setup():
 
 
 class TestParallelCertainAnswers:
+    def test_public_hooks_are_exported(self):
+        # The executor must not reach into answers-module internals: the
+        # probe/candidate split is a public, stable contract.
+        from repro.reasoning.answers import candidate_tuples, probe_instance
+
+        program, database, query = tc_setup()
+        probe = probe_instance(database, program)
+        assert query.evaluate(probe)  # the probe settles the positives
+
+        from repro.reasoning.abstraction import star_abstraction
+
+        abstraction = star_abstraction(database, program.single_head())
+        pool = candidate_tuples(query, abstraction)
+        assert certain_answers(query, database, program) <= pool
+
+    def test_equals_certain_answers_across_backends(self):
+        # parallel_certain_answers ≡ certain_answers, whatever storage
+        # backend the sequential facade materializes with.
+        from repro.storage import BACKENDS
+
+        program, database, query = tc_setup()
+        parallel = parallel_certain_answers(
+            query, database, program, workers=3
+        )
+        for store in BACKENDS:
+            for method in ("auto", "pwl", "ward"):
+                assert parallel == certain_answers(
+                    query, database, program, method=method, store=store
+                ), (store, method)
+
     def test_equals_sequential_facade(self):
         program, database, query = tc_setup()
         sequential = certain_answers(query, database, program, method="pwl")

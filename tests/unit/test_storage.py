@@ -181,6 +181,48 @@ class TestDeltaOverlay:
         assert len(overlay) == 2
         assert isinstance(overlay.delta, Instance)
 
+    def test_atom_in_both_layers_counted_once(self):
+        # Regression: an atom added to the delta first and to the
+        # (mutable) base afterwards used to be reported twice by every
+        # read path — the insert-time guard in add() only dedupes while
+        # the base stays frozen.
+        overlay = DeltaOverlay(ColumnarStore([Atom("r", (a, b))]))
+        overlay.add(Atom("r", (b, c)))          # lands in the delta
+        overlay.base.add(Atom("r", (b, c)))     # later lands in the base too
+        assert len(overlay) == 2
+        assert overlay.count() == 2
+        assert overlay.count("r") == 2
+        assert list(overlay).count(Atom("r", (b, c))) == 1
+        assert list(overlay.by_predicate("r")).count(Atom("r", (b, c))) == 1
+        assert list(overlay.matching(Atom("r", (X, Y)))).count(
+            Atom("r", (b, c))
+        ) == 1
+        assert list(
+            overlay.matching_bound("r", {1: b}, arity=2)
+        ).count(Atom("r", (b, c))) == 1
+        assert overlay.memory_report().atom_count == 2
+
+    def test_delta_side_backdoor_mutation_recounted(self):
+        # Regression: a shadowed atom slipped in through the public
+        # .delta property (not overlay.add) must not let a later add()
+        # re-validate the stale overlap count — len()/count() would
+        # disagree with iteration forever after.
+        overlay = DeltaOverlay(ColumnarStore([Atom("r", (a, b))]))
+        overlay.delta.add(Atom("r", (a, b)))    # bypasses the add() guard
+        overlay.add(Atom("r", (b, c)))
+        assert len(overlay) == 2
+        assert overlay.count("r") == 2
+        assert sorted(map(str, overlay)) == sorted(
+            map(str, {Atom("r", (a, b)), Atom("r", (b, c))})
+        )
+
+    def test_shadowed_delta_atom_not_double_promoted(self):
+        overlay = DeltaOverlay(ColumnarStore())
+        overlay.add(Atom("r", (a, b)))
+        overlay.base.add(Atom("r", (a, b)))
+        assert overlay.promote() == 0           # nothing actually moved
+        assert len(overlay) == 1
+
     def test_memory_report_merges_layers(self):
         overlay = DeltaOverlay(ColumnarStore([Atom("r", (a, b))]))
         overlay.add(Atom("s", (c,)))
