@@ -57,28 +57,53 @@ __all__ = [
     "QueryPlan",
     "AnswerStream",
     "compile_program",
+    "ChangeSet",
+    "MutationLog",
+    "MaintenanceReport",
+    "api",
+    "incremental",
     "__version__",
 ]
 
+#: Names resolved through :mod:`repro.api` on first access.
+_API_EXPORTS = (
+    "Session",
+    "CompiledProgram",
+    "Planner",
+    "QueryPlan",
+    "AnswerStream",
+    "compile_program",
+)
+
+#: Names resolved through :mod:`repro.incremental` on first access.
+_INCREMENTAL_EXPORTS = ("ChangeSet", "MutationLog", "MaintenanceReport")
+
 
 def __getattr__(name):
-    """Lazily surface the session layer at the package root.
+    """Lazily surface the session and incremental layers at the root.
 
-    ``repro.Session`` et al. resolve through :mod:`repro.api` on first
-    access, so importing the core package stays cheap.
+    ``repro.Session``, ``repro.AnswerStream``, ``repro.ChangeSet`` et
+    al. resolve through their subpackages on first access, so importing
+    the core package stays cheap.
     """
-    if name in (
-        "Session",
-        "CompiledProgram",
-        "Planner",
-        "QueryPlan",
-        "AnswerStream",
-        "compile_program",
-    ):
+    if name in _API_EXPORTS or name == "api":
         from . import api
 
-        return getattr(api, name)
+        return api if name == "api" else getattr(api, name)
+    if name in _INCREMENTAL_EXPORTS or name == "incremental":
+        from . import incremental
+
+        return (
+            incremental if name == "incremental"
+            else getattr(incremental, name)
+        )
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    """Make the lazy surface discoverable: ``dir(repro)`` lists the
+    session-layer names even before their first access."""
+    return sorted(set(globals()) | set(__all__))
 
 
 def certain_answers(query, database, program, **kwargs):

@@ -103,6 +103,14 @@ class QueryPlan:
     reasons: Tuple[str, ...] = ()
     steps: Tuple[str, ...] = ()
     engine_kwargs: Mapping[str, Any] = field(compare=False, default_factory=dict)
+    #: Whether a saturated materialization of this plan can be upgraded
+    #: in place under EDB change sets (see :mod:`repro.incremental`);
+    #: ``maintenance`` carries the human-readable why/why-not.  The
+    #: default is the conservative "not classified" — only
+    #: :meth:`Planner.plan` asserts maintainability (the session
+    #: re-derives the real classification before ever maintaining).
+    maintainable: bool = False
+    maintenance: str = "unclassified (plan not built by Planner.plan)"
 
     @property
     def engine_label(self) -> str:
@@ -119,6 +127,7 @@ class QueryPlan:
             f"{len(analysis.strata.layers)} stratum/strata",
             f"  engine  : {self.method} — {self.engine_label}",
             f"  store   : {self.store_name}",
+            f"  update  : {self.maintenance}",
             "  why:",
         ]
         lines.extend(f"    - {reason}" for reason in self.reasons)
@@ -188,6 +197,23 @@ class Planner:
         compiled = compile_program(compiled)
         validate_store(store)
         resolved, reasons = self.resolve(compiled, method)
+        from ..incremental import unmaintainable_reason
+
+        gap = unmaintainable_reason(compiled.analysis)
+        if gap is None and resolved in ("pwl", "ward"):
+            # The proof-tree engines hold no materialization to
+            # maintain; their abstraction is recomputed per EDB change.
+            maintainable = False
+            maintenance = (
+                "recompute on EDB change (proof-tree engines cache no "
+                "materialization)"
+            )
+        elif gap is None:
+            maintainable = True
+            maintenance = "incremental (DRed + counting over the strata)"
+        else:
+            maintainable = False
+            maintenance = f"recompute on EDB change ({gap})"
         return QueryPlan(
             query=query,
             method=resolved,
@@ -197,4 +223,6 @@ class Planner:
             reasons=reasons,
             steps=_PIPELINES[resolved],
             engine_kwargs=dict(engine_kwargs),
+            maintainable=maintainable,
+            maintenance=maintenance,
         )

@@ -9,8 +9,13 @@ A :class:`Session` owns
 * a **compiled-program cache** — each :class:`Program` is classified,
   stratified, and join-planned exactly once;
 * cross-query caches — star abstractions (proof-tree engines) and
-  saturated materializations (fixpoint engines), both keyed by the EDB
-  version so fact updates invalidate them.
+  saturated materializations (fixpoint engines), each stamped with the
+  EDB version watermark it is valid for;
+* a **mutation log** — :meth:`Session.apply` records every effective
+  insert/retract batch and routes each cached materialization through
+  :mod:`repro.incremental`, *upgrading it in place* (DRed + counting +
+  the semi-naive insertion fast path) instead of recomputing, with a
+  recorded fallback for plans outside the maintainable fragment.
 
 ``Session.query`` returns a lazy :class:`AnswerStream`; nothing runs
 until the caller pulls.
@@ -25,6 +30,14 @@ from ..core.atoms import Atom
 from ..core.instance import Database, Instance
 from ..core.program import Program
 from ..core.query import ConjunctiveQuery
+from ..incremental import (
+    ChangeSet,
+    FixpointMaintainer,
+    MaintenanceReport,
+    MutationLog,
+    compose_changes,
+    unmaintainable_reason,
+)
 from ..lang.parser import parse_program, parse_query
 from ..storage import FactStore
 from .execution import execute_plan
@@ -36,6 +49,26 @@ __all__ = ["Session"]
 
 QueryLike = Union[str, ConjunctiveQuery]
 ProgramLike = Union[None, str, Program, CompiledProgram]
+ChangeLike = Union[ChangeSet, Iterable[Atom]]
+
+
+class _FixpointEntry:
+    """One cached saturated materialization plus its upgrade machinery.
+
+    ``version`` is the EDB watermark the store is saturated for;
+    :meth:`Session.apply` moves it forward through the ``maintainer``
+    (built lazily on the first change) instead of dropping the store.
+    """
+
+    __slots__ = ("store", "version", "compiled", "maintainer", "label")
+
+    def __init__(self, store: FactStore, version: int,
+                 compiled: CompiledProgram, label: str):
+        self.store = store
+        self.version = version
+        self.compiled = compiled
+        self.maintainer: Optional[FixpointMaintainer] = None
+        self.label = label
 
 
 class Session:
@@ -56,11 +89,16 @@ class Session:
         self.planner = planner if planner is not None else Planner()
         self.edb = Database()
         self._edb_version = 0
+        self.mutations = MutationLog()
         self._compiled: Dict[Program, CompiledProgram] = {}
         self._external: list = []  # externally compiled, kept alive
         self._last: Optional[CompiledProgram] = None
         self._abstractions: Dict[Tuple[int, int], Instance] = {}
-        self._fixpoints: Dict[tuple, FactStore] = {}
+        self._fixpoints: Dict[tuple, _FixpointEntry] = {}
+        #: Reports from *lazy* catch-ups (a lagging entry healed — or
+        #: dropped, with the reason — on the read path); :meth:`apply`
+        #: returns its report directly instead.  Bounded, newest last.
+        self.catchup_reports: list[MaintenanceReport] = []
 
     def __repr__(self) -> str:
         return (
@@ -72,17 +110,118 @@ class Session:
 
     @property
     def edb_version(self) -> int:
-        """Bumped whenever facts are added; keys the derived caches."""
+        """The EDB change-log watermark: bumped once per effective
+        :meth:`apply` batch.  Derived caches are stamped with the
+        watermark they are valid for and *upgraded* across bumps when
+        the program is maintainable (recomputed otherwise)."""
         return self._edb_version
 
     def add_facts(self, atoms: Iterable[Atom]) -> int:
-        """Add facts to the shared EDB, invalidating derived caches."""
-        added = self.edb.add_all(atoms)
-        if added:
-            self._edb_version += 1
-            self._abstractions.clear()
-            self._fixpoints.clear()
-        return added
+        """Add facts to the shared EDB (an insert-only :meth:`apply`).
+
+        Cached fixpoints of maintainable programs are upgraded in
+        place via the insertion fast path; star abstractions (which
+        are cheap relative to saturation) are recomputed.  Returns how
+        many facts were new.
+        """
+        return self.apply(ChangeSet.inserting(atoms)).added
+
+    def retract_facts(self, atoms: Iterable[Atom]) -> int:
+        """Remove facts from the shared EDB (a retract-only :meth:`apply`).
+
+        Returns how many facts were actually present.
+        """
+        return self.apply(ChangeSet.retracting(atoms)).dropped
+
+    def apply(
+        self,
+        changes: ChangeLike = None,
+        *,
+        inserts: Iterable[Atom] = (),
+        retracts: Iterable[Atom] = (),
+    ) -> MaintenanceReport:
+        """Apply one batch of EDB insertions and retractions.
+
+        *changes* is a :class:`~repro.incremental.ChangeSet` (or a bare
+        iterable of atoms, treated as insertions); ``inserts=`` /
+        ``retracts=`` extend it.  Every cached ``(plan, fixpoint)`` is
+        routed through its :class:`~repro.incremental.FixpointMaintainer`
+        and upgraded in place — DRed / counting deletion plus the
+        semi-naive insertion fast path — while plans outside the
+        maintainable fragment fall back to recomputation-on-next-query,
+        with the reason recorded in the returned
+        :class:`~repro.incremental.MaintenanceReport`.
+
+        No-op batches (nothing effectively changed) do not bump the
+        watermark.
+        """
+        if changes is None:
+            changes = ChangeSet()
+        elif not isinstance(changes, ChangeSet):
+            changes = ChangeSet.inserting(changes)
+        extra = ChangeSet.of(inserts, retracts)
+        if extra:
+            changes = ChangeSet(changes.ops + extra.ops)
+        net_inserts, net_retracts = changes.net()
+        # Effective deltas relative to the current EDB: re-asserting a
+        # present fact and retracting an absent one are both no-ops.
+        inserted = tuple(f for f in net_inserts if f not in self.edb)
+        retracted = tuple(f for f in net_retracts if f in self.edb)
+        if not inserted and not retracted:
+            return MaintenanceReport(
+                version=self._edb_version, inserted=(), retracted=()
+            )
+        self.edb.discard_all(retracted)
+        self.edb.add_all(inserted)
+        self._edb_version += 1
+        self.mutations.record(self._edb_version, inserted, retracted)
+        # Star abstractions depend on the whole EDB and are cheap next
+        # to saturation: recompute on demand rather than maintain.
+        self._abstractions.clear()
+        report = MaintenanceReport(
+            version=self._edb_version,
+            inserted=inserted,
+            retracted=retracted,
+        )
+        for key in list(self._fixpoints):
+            self._upgrade_entry(key, report)
+        return report
+
+    def _upgrade_entry(self, key: tuple, report: MaintenanceReport) -> None:
+        """Bring one cached fixpoint to the current watermark, or drop it.
+
+        The entry may be several versions behind (defensive — e.g. a
+        caller that mutated ``session.edb`` directly bumped nothing);
+        the mutation log composes the missed batches into one effective
+        batch, which stays exact for both DRed and counting.
+        """
+        entry = self._fixpoints[key]
+        reason = unmaintainable_reason(entry.compiled.analysis)
+        if reason is not None:
+            del self._fixpoints[key]
+            report.fallbacks.append((entry.label, reason))
+            return
+        pending = self.mutations.since(entry.version, self._edb_version)
+        if pending is None:
+            del self._fixpoints[key]
+            report.fallbacks.append(
+                (
+                    entry.label,
+                    "mutation log no longer covers this cache's "
+                    "watermark; recomputing",
+                )
+            )
+            return
+        inserted, retracted = compose_changes(
+            (record.inserted, record.retracted) for record in pending
+        )
+        if entry.maintainer is None:
+            entry.maintainer = FixpointMaintainer(
+                entry.compiled, entry.store
+            )
+        stats = entry.maintainer.apply(inserted, retracted, edb=self.edb)
+        entry.version = self._edb_version
+        report.maintained.append((entry.label, stats))
 
     # -- program management ------------------------------------------------
 
@@ -232,6 +371,9 @@ class Session:
         )
 
     def _fixpoint_key(self, plan: QueryPlan) -> tuple:
+        # No EDB version in the key: entries carry their own watermark
+        # and are moved forward by the maintainer instead of being
+        # orphaned per version.
         relevant = tuple(
             sorted(
                 (k, repr(v)) for k, v in plan.engine_kwargs.items()
@@ -239,20 +381,46 @@ class Session:
         )
         return (
             id(plan.program),
-            self._edb_version,
             plan.method,
             plan.store_name,
             relevant,
         )
 
     def get_fixpoint(self, plan: QueryPlan) -> Optional[FactStore]:
-        """A cached saturated materialization for this plan, if any."""
+        """A cached saturated materialization for this plan, if any.
+
+        An entry whose watermark lags the EDB (possible only when the
+        EDB was mutated without :meth:`apply` noticing, e.g. direct
+        ``session.edb`` writes recorded by a later batch) is caught up
+        through the maintainer on the way out, or dropped.
+        """
         if not self._fixpoint_cacheable(plan):
             return None
-        return self._fixpoints.get(self._fixpoint_key(plan))
+        entry = self._fixpoints.get(self._fixpoint_key(plan))
+        if entry is None:
+            return None
+        if entry.version != self._edb_version:
+            report = MaintenanceReport(
+                version=self._edb_version, inserted=(), retracted=()
+            )
+            self._upgrade_entry(self._fixpoint_key(plan), report)
+            # Keep the decision discoverable — especially a fallback's
+            # reason — rather than silently recomputing.
+            self.catchup_reports.append(report)
+            del self.catchup_reports[:-32]
+            entry = self._fixpoints.get(self._fixpoint_key(plan))
+            if entry is None:
+                return None
+        return entry.store
 
     def set_fixpoint(self, plan: QueryPlan, instance: FactStore) -> None:
         """Register a saturated materialization for reuse."""
         if not self._fixpoint_cacheable(plan):
             return
-        self._fixpoints[self._fixpoint_key(plan)] = instance
+        label = (
+            f"{plan.method}×{plan.store_name} fixpoint "
+            f"[{plan.program.name}]"
+        )
+        self._fixpoints[self._fixpoint_key(plan)] = _FixpointEntry(
+            instance, self._edb_version, plan.program, label
+        )

@@ -3,6 +3,7 @@
 see DESIGN.md §5 — plus the Section 1.2 recursion-statistics analyzer."""
 
 from .chasebench import generate_chasebench
+from .churn import ChurnScenario, generate_churn
 from .dbpedia import example_33_program, generate_dbpedia
 from .harness import (
     DEFAULT_ENGINES,
@@ -22,6 +23,8 @@ from .stats import RecursionStatistics, classify_corpus, default_corpus
 
 __all__ = [
     "Scenario",
+    "ChurnScenario",
+    "generate_churn",
     "generate_iwarded",
     "RECURSION_FLAVOURS",
     "generate_ibench",

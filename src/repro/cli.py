@@ -14,6 +14,10 @@ The everyday workflow of the library, now built on the
   interactive ``?-`` loop over stdin when none is given;
 * ``chase FILE`` — run the (bounded) restricted chase and print the
   derived instance;
+* ``update FILE`` — apply EDB fact deltas (``+atom`` / ``-atom``
+  lines from a file or stdin) through the incremental-maintenance
+  layer: cached fixpoints are upgraded in place and the maintenance
+  report (strata maintained, rederivations, fallbacks) is printed;
 * ``stats`` — regenerate the Section 1.2 recursion statistics over the
   synthetic benchmark corpus;
 * ``bench`` — run the scenario-matrix benchmark suite (all five
@@ -223,6 +227,32 @@ def build_parser() -> argparse.ArgumentParser:
              "to the working directory)",
     )
 
+    update = commands.add_parser(
+        "update",
+        parents=[store_options],
+        help="apply EDB fact deltas (+atom / -atom lines) through the "
+             "incremental-maintenance layer and print what it did",
+    )
+    update.add_argument("file", type=Path, help="program + facts file")
+    update.add_argument(
+        "--changes", default="-", metavar="PATH",
+        help="delta file: one '+atom.' (insert) or '-atom.' (retract) "
+             "per line, '#' comments, a line of just '--' separating "
+             "batches; '-' reads stdin (default)",
+    )
+    update.add_argument(
+        "--query", action="append", default=[], metavar="CQ",
+        help="query to answer before and after the deltas (repeatable); "
+             "warms the fixpoint cache so maintenance has something to "
+             "upgrade",
+    )
+    update.add_argument(
+        "--method",
+        default="auto",
+        choices=("auto",) + ENGINES,
+        help="engine selection for --query (default: auto)",
+    )
+
     rewrite = commands.add_parser(
         "rewrite",
         parents=[store_options],
@@ -417,6 +447,56 @@ def _cmd_rewrite(args, out) -> int:
     return 0 if rewriting.complete else 3
 
 
+def _cmd_update(args, out, stdin) -> int:
+    """EDB deltas through ``Session.apply``: maintain, don't recompute."""
+    from .incremental import ChangeSet
+
+    session = _load_session(args)
+    for query_text in args.query:
+        # Materialize once: the cached fixpoint is what maintenance
+        # upgrades (and what the post-update answers are served from).
+        session.query(query_text, method=args.method).to_set()
+    if args.changes == "-":
+        stdin = stdin if stdin is not None else sys.stdin
+        text = stdin.read()
+    else:
+        try:
+            text = Path(args.changes).read_text()
+        except OSError as error:
+            raise SystemExit(f"repro: cannot read {args.changes}: {error}")
+
+    batches: list[list[str]] = [[]]
+    for line in text.splitlines():
+        if line.strip() == "--":
+            batches.append([])
+        else:
+            batches[-1].append(line)
+    failed = False
+    for index, lines in enumerate(batches):
+        try:
+            changes = ChangeSet.parse("\n".join(lines))
+        except ValueError as error:
+            # Batches are sequential: applying batch N+1 after batch N
+            # failed would produce a state no corrected input reaches.
+            print(
+                f"error in batch {index + 1}: {error}; stopping before "
+                f"it (applied {index} batch(es))",
+                file=out,
+            )
+            failed = True
+            break
+        if not changes and len(batches) > 1:
+            continue
+        report = session.apply(changes)
+        if len(batches) > 1:
+            print(f"batch {index + 1}:", file=out)
+        print(report.describe(), file=out)
+    for query_text in args.query:
+        print(f"?- {query_text.strip()}", file=out)
+        _answer_one(session, query_text, args, out)
+    return 3 if failed else 0
+
+
 def _cmd_bench(args, out) -> int:
     """The scenario-matrix suite: one command, one JSON artifact."""
     from .benchsuite.harness import SUITES, run_matrix
@@ -498,6 +578,8 @@ def main(
     args = build_parser().parse_args(argv)
     if args.command == "query":
         return _cmd_query(args, out, stdin)
+    if args.command == "update":
+        return _cmd_update(args, out, stdin)
     handlers = {
         "classify": _cmd_classify,
         "answer": _cmd_answer,

@@ -62,6 +62,30 @@ class Instance(FactStore):
         """Insert many atoms; return how many were new."""
         return sum(1 for atom in atoms if self.add(atom))
 
+    def discard(self, atom: Atom) -> bool:
+        """Remove *atom*; return True iff it was present.
+
+        Both eager indexes shrink with the atom set; emptied index
+        buckets are dropped so ``predicates()`` and the position probes
+        never see ghost keys.
+        """
+        if atom not in self._atoms:
+            return False
+        self._atoms.discard(atom)
+        bucket = self._by_predicate.get(atom.predicate)
+        if bucket is not None:
+            bucket.discard(atom)
+            if not bucket:
+                del self._by_predicate[atom.predicate]
+        for i, term in enumerate(atom.args, start=1):
+            key = (atom.predicate, i, term)
+            positional = self._by_position.get(key)
+            if positional is not None:
+                positional.discard(atom)
+                if not positional:
+                    del self._by_position[key]
+        return True
+
     # -- queries -----------------------------------------------------------
 
     def __contains__(self, atom: object) -> bool:

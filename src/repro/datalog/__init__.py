@@ -15,6 +15,7 @@ from .seminaive import (
     SemiNaiveRound,
     datalog_answers,
     seminaive,
+    seminaive_delta_rounds,
     seminaive_rounds,
     stream_datalog_answers,
 )
@@ -28,6 +29,7 @@ from .strata import (
 __all__ = [
     "seminaive",
     "seminaive_rounds",
+    "seminaive_delta_rounds",
     "SemiNaiveResult",
     "SemiNaiveRound",
     "datalog_answers",

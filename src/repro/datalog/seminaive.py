@@ -35,6 +35,7 @@ __all__ = [
     "SemiNaiveRound",
     "seminaive",
     "seminaive_rounds",
+    "seminaive_delta_rounds",
     "datalog_answers",
     "stream_datalog_answers",
 ]
@@ -161,8 +162,23 @@ def seminaive_rounds(
     yield SemiNaiveRound(
         index=0, staged=tuple(database), considered=0, instance=instance
     )
-    rounds = 0
+    yield from _delta_loop(
+        instance, delta, program, overlay=overlay, max_rounds=max_rounds
+    )
 
+
+def _delta_loop(
+    instance: FactStore,
+    delta: FactStore,
+    program: Program,
+    *,
+    overlay: Optional[DeltaOverlay] = None,
+    max_rounds: Optional[int] = None,
+) -> Iterable[SemiNaiveRound]:
+    """The shared semi-naive round loop: join against *delta*, merge,
+    repeat to fixpoint.  With *overlay* given, the overlay's writable
+    layer is the delta and each round boundary promotes it."""
+    rounds = 0
     while len(delta) > 0:
         if max_rounds is not None and rounds >= max_rounds:
             break
@@ -199,6 +215,47 @@ def seminaive_rounds(
             considered=round_considered,
             instance=instance,
         )
+
+
+def seminaive_delta_rounds(
+    instance: FactStore,
+    program: Program,
+    delta_atoms: Iterable[Atom],
+    max_rounds: Optional[int] = None,
+) -> Iterable[SemiNaiveRound]:
+    """Resume a saturated semi-naive fixpoint after new facts arrive.
+
+    *instance* is a least fixpoint of *program* over some earlier
+    database; *delta_atoms* are facts new since it was computed (they
+    are inserted if absent).  The rounds are seeded from **just the new
+    facts** rather than the whole database — the insertion fast path of
+    the incremental-maintenance layer (:mod:`repro.incremental`).
+    *instance* is upgraded in place; the union of all staged facts is
+    exactly what a from-scratch fixpoint over the extended database
+    would have added.
+
+    Round 0 carries the seed delta.  Like :func:`seminaive_rounds`,
+    atoms already processed may appear in the seed (the maintainer
+    passes every fact added since the last fixpoint): re-deriving from
+    them is wasted work but never changes the result.
+    """
+    _check_datalog(program)
+    seed: List[Atom] = []
+    seen: set[Atom] = set()
+    for atom in delta_atoms:
+        if atom in seen:
+            continue
+        seen.add(atom)
+        instance.add(atom)
+        seed.append(atom)
+    delta = instance.fresh()
+    delta.add_all(seed)
+    yield SemiNaiveRound(
+        index=0, staged=tuple(seed), considered=0, instance=instance
+    )
+    yield from _delta_loop(
+        instance, delta, program, max_rounds=max_rounds
+    )
 
 
 def seminaive(

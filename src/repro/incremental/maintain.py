@@ -1,0 +1,457 @@
+"""The fixpoint maintainer: DRed + counting over the program's strata.
+
+A :class:`FixpointMaintainer` owns one cached least-fixpoint store and
+upgrades it in place when the EDB changes, instead of letting the
+session throw the materialization away:
+
+* **insertions** ride the semi-naive fast path — deltas seeded from
+  just the new facts (:func:`repro.datalog.seminaive.seminaive_delta_rounds`
+  is the same loop; here the rounds run stratum by stratum so they
+  interleave correctly with deletions);
+* **retractions** run delete–rederive (DRed) on recursive strata and
+  pure counting (:mod:`repro.incremental.support`) on non-recursive
+  ones, using the stratification the
+  :class:`~repro.api.program.CompiledProgram` already computed.
+
+The maintainable fragment is full (existential-free) programs: their
+saturated store is the least fixpoint over constants, so deletion has
+the classical semantics.  Programs with existential rules materialize
+labeled nulls whose provenance the store does not track; the session
+falls back to recomputation for those (and records why).
+
+Batch discipline (one ``apply``):
+
+1. **Phase A — deletions**, strata in topological order.  Joins that
+   must see the *old* state run over a
+   :class:`~repro.incremental.views.UnionView` of the live store and
+   the net-removed set, so nothing is copied.
+2. **Phase B — insertions**, strata in topological order, semi-naive
+   within each recursive stratum.
+
+This is the standard stratified DRed schedule: phase A leaves the store
+at ``fixpoint(EDB \\ retracted)``, phase B lifts it to
+``fixpoint((EDB \\ retracted) ∪ inserted)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.atoms import Atom
+from ..core.homomorphism import find_homomorphism
+from ..core.instance import Instance
+from ..core.terms import Term, Variable
+from ..datalog.seminaive import _delta_matches
+from ..storage.base import FactStore
+from .support import SupportIndex
+from .views import AtomSet, UnionView
+
+__all__ = [
+    "FixpointMaintainer",
+    "MaintenanceStats",
+    "MaintenanceReport",
+    "unmaintainable_reason",
+]
+
+
+def unmaintainable_reason(analysis) -> Optional[str]:
+    """Why a program is outside the maintainable fragment (None if in).
+
+    *analysis* is a :class:`~repro.api.program.ProgramAnalysis`.  The
+    fragment is full programs: multi-head rules are normalized away,
+    but existential heads invent labeled nulls whose derivations the
+    store does not record, so deletion cannot be localized.
+    """
+    if not analysis.full:
+        return (
+            "existential rules materialize labeled nulls; retraction "
+            "over invented values needs provenance the store does not "
+            "keep, so the plan recomputes on EDB change"
+        )
+    return None
+
+
+@dataclass
+class MaintenanceStats:
+    """Work counters for one maintenance batch (or an aggregate)."""
+
+    edb_inserted: int = 0    # effective EDB fact insertions
+    edb_retracted: int = 0   # effective EDB fact retractions
+    derived_added: int = 0   # IDB facts the insertion phase derived
+    overdeleted: int = 0     # DRed over-approximation size
+    rederived: int = 0       # overdeleted facts with surviving proofs
+    removed: int = 0         # net facts deleted from the store
+    strata_maintained: int = 0
+    dred_strata: int = 0     # strata that ran delete–rederive
+    counting_strata: int = 0  # strata maintained by support counts
+    matches: int = 0         # delta-join body matches examined
+
+    def merge(self, other: "MaintenanceStats") -> "MaintenanceStats":
+        for spec in fields(self):
+            setattr(
+                self,
+                spec.name,
+                getattr(self, spec.name) + getattr(other, spec.name),
+            )
+        return self
+
+    def as_dict(self) -> dict:
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+
+@dataclass
+class MaintenanceReport:
+    """What one :meth:`repro.api.Session.apply` did, across all caches."""
+
+    version: int
+    inserted: Tuple[Atom, ...]
+    retracted: Tuple[Atom, ...]
+    #: (cache label, per-batch stats) for every fixpoint upgraded in place.
+    maintained: List[Tuple[str, MaintenanceStats]] = field(default_factory=list)
+    #: (cache label, reason) for every cache dropped to recomputation.
+    fallbacks: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def added(self) -> int:
+        return len(self.inserted)
+
+    @property
+    def dropped(self) -> int:
+        return len(self.retracted)
+
+    def totals(self) -> MaintenanceStats:
+        total = MaintenanceStats()
+        for _, stats in self.maintained:
+            total.merge(stats)
+        return total
+
+    def describe(self) -> str:
+        lines = [
+            f"edb: +{self.added} fact(s), -{self.dropped} fact(s) "
+            f"(version {self.version})"
+        ]
+        for label, stats in self.maintained:
+            lines.append(
+                f"maintained {label}: {stats.strata_maintained} stratum/strata "
+                f"({stats.dred_strata} DRed, {stats.counting_strata} counting), "
+                f"+{stats.derived_added} derived, -{stats.removed} removed, "
+                f"{stats.overdeleted} overdeleted / {stats.rederived} rederived"
+            )
+        for label, reason in self.fallbacks:
+            lines.append(f"fallback {label}: {reason}")
+        if not self.maintained and not self.fallbacks:
+            lines.append("no cached fixpoints to maintain")
+        return "\n".join(lines)
+
+
+def _head_seed(head: Atom, fact: Atom) -> Optional[Dict[Variable, Term]]:
+    """Bindings making *head* equal *fact*, or None if they don't unify."""
+    if head.predicate != fact.predicate or head.arity != fact.arity:
+        return None
+    seed: Dict[Variable, Term] = {}
+    for h_term, f_term in zip(head.args, fact.args):
+        if isinstance(h_term, Variable):
+            bound = seed.get(h_term)
+            if bound is not None and bound != f_term:
+                return None
+            seed[h_term] = f_term
+        elif h_term != f_term:
+            return None
+    return seed
+
+
+class FixpointMaintainer:
+    """Maintains one saturated store under EDB change sets.
+
+    Construction precomputes the stratum schedule from the compiled
+    program's analysis; per-stratum :class:`SupportIndex` objects are
+    built lazily, the first time a deletion reaches a non-recursive
+    stratum, and kept coherent from then on.
+    """
+
+    def __init__(self, compiled, store: FactStore):
+        analysis = compiled.analysis
+        reason = unmaintainable_reason(analysis)
+        if reason is not None:
+            raise ValueError(f"program is not maintainable: {reason}")
+        self.compiled = compiled
+        self.store = store
+        self.program = analysis.normalized
+        self.layers: Tuple[tuple, ...] = analysis.strata.layers
+        self.group_heads: List[set] = []
+        self.recursive: List[bool] = []
+        self.head_group: Dict[str, int] = {}
+        for index, layer in enumerate(self.layers):
+            heads = {tgd.head[0].predicate for tgd in layer}
+            self.group_heads.append(heads)
+            self.recursive.append(
+                any(
+                    atom.predicate in heads
+                    for tgd in layer
+                    for atom in tgd.body
+                )
+            )
+            for predicate in heads:
+                self.head_group[predicate] = index
+        self.supports: Dict[int, SupportIndex] = {}
+
+    # -- the batch entry point ---------------------------------------------
+
+    def apply(
+        self,
+        inserted: Sequence[Atom],
+        retracted: Sequence[Atom],
+        *,
+        edb,
+    ) -> MaintenanceStats:
+        """Upgrade the store for one effective (inserted, retracted) batch.
+
+        *edb* is the session's asserted-fact base **after** the batch;
+        together with the two sequences it reconstructs old-EDB
+        membership exactly.  The two sequences must be effective:
+        inserted facts were absent from the old EDB, retracted facts
+        present (and the two disjoint) — :meth:`repro.api.Session.apply`
+        guarantees this.
+        """
+        stats = MaintenanceStats()
+        inserted_set = set(inserted)
+        retracted_set = set(retracted)
+        stats.edb_inserted = len(inserted_set)
+        stats.edb_retracted = len(retracted_set)
+
+        def in_old_edb(fact: Atom) -> bool:
+            return (
+                fact in retracted_set
+                or (fact in edb and fact not in inserted_set)
+            )
+
+        def in_mid_edb(fact: Atom) -> bool:
+            # EDB \ retracted — what phase A may rederive from.
+            return fact in edb and fact not in inserted_set
+
+        # ---- Phase A: deletions, stratum by stratum ----------------------
+        # Net removals so far: an indexed Instance, because the UnionView
+        # probes it inside every old-state join of the deletion phase.
+        removed = Instance()
+        if retracted_set:
+            pending: Dict[int, List[Atom]] = {}
+            for fact in retracted_set:
+                group = self.head_group.get(fact.predicate)
+                if group is None:
+                    # Pure EDB predicate: no rule can rederive it.
+                    if self.store.discard(fact):
+                        removed.add(fact)
+                else:
+                    pending.setdefault(group, []).append(fact)
+            for index, layer in enumerate(self.layers):
+                edb_dels = pending.get(index, ())
+                if not removed and not edb_dels:
+                    continue
+                stats.strata_maintained += 1
+                if self.recursive[index]:
+                    stats.dred_strata += 1
+                    self._dred_delete(
+                        index, layer, removed, edb_dels, in_mid_edb, stats
+                    )
+                else:
+                    stats.counting_strata += 1
+                    self._counting_delete(
+                        index, layer, removed, edb_dels, in_old_edb, stats
+                    )
+        stats.removed = len(removed)
+
+        # ---- Phase B: insertions, stratum by stratum ---------------------
+        delta_plus = AtomSet()
+        for fact in inserted_set:
+            if self.store.add(fact):
+                delta_plus.add(fact)
+        before = len(delta_plus)
+        if inserted_set or delta_plus:
+            for index, layer in enumerate(self.layers):
+                edb_ins = [
+                    fact
+                    for fact in inserted_set
+                    if fact.predicate in self.group_heads[index]
+                ]
+                if not delta_plus and not edb_ins:
+                    continue
+                if self.recursive[index]:
+                    self._seminaive_insert(layer, delta_plus, stats)
+                else:
+                    self._counting_insert(
+                        index, layer, delta_plus, edb_ins, stats
+                    )
+        stats.derived_added = len(delta_plus) - before
+        return stats
+
+    # -- deletion: DRed on recursive strata --------------------------------
+
+    def _dred_delete(
+        self,
+        index: int,
+        layer,
+        removed: Instance,
+        edb_dels: Sequence[Atom],
+        in_mid_edb,
+        stats: MaintenanceStats,
+    ) -> None:
+        store = self.store
+        view = UnionView(store, removed)
+        # Over-delete: everything with a derivation (in the old state)
+        # that touches a deleted fact.  Candidates stay in the store —
+        # the old-state joins must still see them.
+        over: set[Atom] = {f for f in edb_dels if f in store}
+        frontier = AtomSet(set(removed) | over)
+        while len(frontier) > 0:
+            wave: set[Atom] = set()
+            for tgd in layer:
+                head = tgd.head[0]
+                for hom in _delta_matches(tgd, view, frontier):
+                    stats.matches += 1
+                    fact = hom.apply_atom(head)
+                    if fact in over or fact in removed:
+                        continue
+                    if fact in store:
+                        wave.add(fact)
+            over |= wave
+            frontier = AtomSet(wave)
+        stats.overdeleted += len(over)
+        for fact in over:
+            store.discard(fact)
+        # Re-derive, in two stages (each fact is checked once, then
+        # survivors propagate semi-naively — never a quadratic rescan):
+        # 1. facts with direct support from what is left (or still
+        #    EDB-asserted) come back;
+        remaining = set(over)
+        rederived: List[Atom] = []
+        for fact in sorted(remaining, key=str):
+            if in_mid_edb(fact) or self._derivable(fact, layer):
+                store.add(fact)
+                rederived.append(fact)
+                stats.rederived += 1
+        remaining.difference_update(rederived)
+        # 2. each survivor may complete a proof for another overdeleted
+        #    fact — a delta join pinned on the latest rederivals.
+        wave = AtomSet(rederived)
+        while len(wave) > 0 and remaining:
+            fresh: List[Atom] = []
+            for tgd in layer:
+                head = tgd.head[0]
+                for hom in _delta_matches(tgd, store, wave):
+                    stats.matches += 1
+                    fact = hom.apply_atom(head)
+                    if fact in remaining:
+                        store.add(fact)
+                        remaining.discard(fact)
+                        fresh.append(fact)
+                        stats.rederived += 1
+            wave = AtomSet(fresh)
+        for fact in remaining:
+            removed.add(fact)
+
+    def _derivable(self, fact: Atom, layer) -> bool:
+        for tgd in layer:
+            seed = _head_seed(tgd.head[0], fact)
+            if seed is None:
+                continue
+            if find_homomorphism(list(tgd.body), self.store, seed) is not None:
+                return True
+        return False
+
+    # -- deletion: counting on non-recursive strata ------------------------
+
+    def _counting_delete(
+        self,
+        index: int,
+        layer,
+        removed: Instance,
+        edb_dels: Sequence[Atom],
+        in_old_edb,
+        stats: MaintenanceStats,
+    ) -> None:
+        store = self.store
+        view = UnionView(store, removed)
+        support = self.supports.get(index)
+        if support is None:
+            support = self.supports[index] = self._build_support(
+                index, layer, view, in_old_edb
+            )
+        # One exact pass: every old-state match that uses a net-removed
+        # atom is a lost support (each enumerated exactly once).
+        losses: Dict[Atom, int] = {}
+        if len(removed) > 0:
+            for tgd in layer:
+                head = tgd.head[0]
+                for hom in _delta_matches(tgd, view, removed):
+                    stats.matches += 1
+                    fact = hom.apply_atom(head)
+                    losses[fact] = losses.get(fact, 0) + 1
+        for fact in edb_dels:
+            losses[fact] = losses.get(fact, 0) + 1  # the EDB support
+        for fact, lost in losses.items():
+            if support.lose(fact, lost) == 0 and store.discard(fact):
+                removed.add(fact)
+
+    def _build_support(
+        self, index: int, layer, view: UnionView, in_old_edb
+    ) -> SupportIndex:
+        edb_facts = [
+            fact
+            for predicate in self.group_heads[index]
+            for fact in view.by_predicate(predicate)
+            if in_old_edb(fact)
+        ]
+        return SupportIndex.build(layer, view, edb_facts)
+
+    # -- insertion ---------------------------------------------------------
+
+    def _seminaive_insert(
+        self, layer, delta_plus: AtomSet, stats: MaintenanceStats
+    ) -> None:
+        """Semi-naive rounds within one recursive stratum, seeded from
+        every fact added so far in this batch."""
+        store = self.store
+        wave = delta_plus
+        while len(wave) > 0:
+            staged: List[Atom] = []
+            staged_set: set[Atom] = set()
+            for tgd in layer:
+                head = tgd.head[0]
+                for hom in _delta_matches(tgd, store, wave):
+                    stats.matches += 1
+                    fact = hom.apply_atom(head)
+                    if fact not in store and fact not in staged_set:
+                        staged_set.add(fact)
+                        staged.append(fact)
+            for fact in staged:
+                store.add(fact)
+                delta_plus.add(fact)
+            wave = AtomSet(staged)
+
+    def _counting_insert(
+        self,
+        index: int,
+        layer,
+        delta_plus: AtomSet,
+        edb_ins: Sequence[Atom],
+        stats: MaintenanceStats,
+    ) -> None:
+        store = self.store
+        support = self.supports.get(index)
+        gains: Dict[Atom, int] = {}
+        if len(delta_plus) > 0:
+            for tgd in layer:
+                head = tgd.head[0]
+                for hom in _delta_matches(tgd, store, delta_plus):
+                    stats.matches += 1
+                    fact = hom.apply_atom(head)
+                    gains[fact] = gains.get(fact, 0) + 1
+        for fact in edb_ins:
+            gains[fact] = gains.get(fact, 0) + 1  # the EDB support
+        for fact, gained in gains.items():
+            if support is not None:
+                support.gain(fact, gained)
+            if fact not in store:
+                store.add(fact)
+                delta_plus.add(fact)

@@ -118,6 +118,20 @@ class FactStore(ABC):
         """Insert many atoms; return how many were new."""
         return sum(1 for atom in atoms if self.add(atom))
 
+    @abstractmethod
+    def discard(self, atom: Atom) -> bool:
+        """Remove *atom*; return True iff it was present.
+
+        Removing an absent atom is a no-op (set semantics, mirroring
+        :meth:`set.discard`).  Backends must keep every index, cache,
+        and derived structure coherent with the shrunken atom set —
+        the incremental-maintenance layer retracts through this.
+        """
+
+    def discard_all(self, atoms: Iterable[Atom]) -> int:
+        """Remove many atoms; return how many were present."""
+        return sum(1 for atom in atoms if self.discard(atom))
+
     # -- membership and iteration -----------------------------------------
 
     @abstractmethod

@@ -37,25 +37,51 @@ Row = Tuple[int, ...]
 class _Relation:
     """One predicate's facts at one arity: rows of term-ids plus indexes."""
 
-    __slots__ = ("predicate", "arity", "rows", "row_set", "indexes", "version")
+    __slots__ = ("predicate", "arity", "rows", "row_pos", "indexes", "version")
 
     def __init__(self, predicate: str, arity: int):
         self.predicate = predicate
         self.arity = arity
         self.rows: List[Row] = []
-        self.row_set: set[Row] = set()
+        # row → its row number; doubles as the dedup set and makes
+        # swap-remove deletion O(arity + built indexes).
+        self.row_pos: Dict[Row, int] = {}
         # 0-based position → term-id → row numbers; built lazily.
         self.indexes: Dict[int, Dict[int, List[int]]] = {}
         self.version = 0
 
     def add(self, row: Row) -> bool:
-        if row in self.row_set:
+        if row in self.row_pos:
             return False
         row_number = len(self.rows)
         self.rows.append(row)
-        self.row_set.add(row)
+        self.row_pos[row] = row_number
         for position, index in self.indexes.items():
             index.setdefault(row[position], []).append(row_number)
+        self.version += 1
+        return True
+
+    def discard(self, row: Row) -> bool:
+        """Swap-remove *row*, keeping rows dense and indexes coherent."""
+        number = self.row_pos.pop(row, None)
+        if number is None:
+            return False
+        last = len(self.rows) - 1
+        moved = self.rows[last]
+        self.rows.pop()
+        if number != last:
+            self.rows[number] = moved
+            self.row_pos[moved] = number
+        for position, index in self.indexes.items():
+            bucket = index.get(row[position])
+            if bucket is not None:
+                bucket.remove(number)
+                if not bucket:
+                    del index[row[position]]
+            if number != last:
+                moved_bucket = index.get(moved[position])
+                if moved_bucket is not None:
+                    moved_bucket[moved_bucket.index(last)] = number
         self.version += 1
         return True
 
@@ -123,6 +149,20 @@ class ColumnarStore(FactStore):
             return True
         return False
 
+    def discard(self, atom: Atom) -> bool:
+        if not isinstance(atom, Atom):
+            return False
+        relation = self._relations.get(atom.predicate, {}).get(atom.arity)
+        if relation is None:
+            return False
+        row = self._try_encode(atom)
+        if row is None or not relation.discard(row):
+            return False
+        # Stale probe-cache entries die with the relation version bump;
+        # interned terms stay (re-insertion is cheap and ids are stable).
+        self._size -= 1
+        return True
+
     # -- membership and iteration -----------------------------------------
 
     def __contains__(self, atom: object) -> bool:
@@ -132,7 +172,7 @@ class ColumnarStore(FactStore):
         if relation is None:
             return False
         row = self._try_encode(atom)
-        return row is not None and row in relation.row_set
+        return row is not None and row in relation.row_pos
 
     def __iter__(self) -> Iterator[Atom]:
         for predicate, by_arity in self._relations.items():
@@ -276,7 +316,7 @@ class ColumnarStore(FactStore):
         for by_arity in self._relations.values():
             for relation in by_arity.values():
                 columns += deep_sizeof(relation.rows, seen)
-                dedup += deep_sizeof(relation.row_set, seen)
+                dedup += deep_sizeof(relation.row_pos, seen)
                 indexes += deep_sizeof(relation.indexes, seen)
         terms = self._table.measured_bytes(seen)
         cache = deep_sizeof(self._probe_cache, seen)

@@ -23,6 +23,7 @@ from ..core.atoms import Atom
 from ..core.terms import Term
 from .base import FactStore, MemoryReport
 from .columnar import ColumnarStore
+from .memory import deep_sizeof
 
 __all__ = ["DeltaOverlay"]
 
@@ -50,6 +51,14 @@ class DeltaOverlay(FactStore):
         # overlay changes a layer length and forces a recount.
         self._overlap_count = 0
         self._overlap_key: Optional[tuple[int, int]] = (len(self._base), 0)
+        # Base-aware deletion: the base is frozen, so retracting one of
+        # its atoms records a tombstone that every base-side read path
+        # filters; ``promote()`` applies tombstones to the base for
+        # real.  Invariant (kept by add/discard): a tombstoned atom is
+        # never simultaneously in the delta.
+        self._tombstones: set[Atom] = set()
+        self._dead_count = 0
+        self._dead_key: Optional[tuple[int, int]] = (len(self._base), 0)
         self.promotions = 0
         self.add_all(atoms)
 
@@ -66,6 +75,15 @@ class DeltaOverlay(FactStore):
     # -- mutation ----------------------------------------------------------
 
     def add(self, atom: Atom) -> bool:
+        if atom in self._tombstones:
+            # Re-asserting a retracted base atom resurrects it: drop
+            # the tombstone and the base copy shows through again.
+            self._tombstones.discard(atom)
+            self._dead_key = None  # force a recount on the next read
+            if atom in self._base:
+                return True
+            # Dangling tombstone (base mutated behind our back): fall
+            # through and store the atom in the delta like any other.
         if atom in self._base:
             return False
         added = self._delta.add(atom)
@@ -91,12 +109,49 @@ class DeltaOverlay(FactStore):
             self._overlap_key = key
         return self._overlap_count
 
+    def discard(self, atom: Atom) -> bool:
+        """Remove *atom* from the overlay's visible set.
+
+        A delta atom is deleted outright; a base atom gets a tombstone
+        (the base stays frozen until :meth:`promote` applies it).
+        """
+        if not isinstance(atom, Atom):
+            return False
+        removed = self._delta.discard(atom)
+        # A delta-side removal changes the delta length, which stales
+        # the overlap key and forces a recount on the next read.
+        if atom in self._base and atom not in self._tombstones:
+            self._tombstones.add(atom)
+            if self._dead_key == (len(self._base), len(self._tombstones) - 1):
+                self._dead_count += 1
+                self._dead_key = (self._dead_key[0], len(self._tombstones))
+            removed = True
+        return removed
+
+    def _dead(self) -> int:
+        """How many tombstones shadow a live base atom (cached)."""
+        if not self._tombstones:
+            return 0
+        key = (len(self._base), len(self._tombstones))
+        if key != self._dead_key:
+            self._dead_count = sum(
+                1 for atom in self._tombstones if atom in self._base
+            )
+            self._dead_key = key
+        return self._dead_count
+
     def promote(self) -> int:
-        """Merge the delta into the base; return how many atoms moved."""
+        """Merge the delta into the base (and apply any tombstones);
+        return how many atoms moved."""
+        if self._tombstones:
+            self._base.discard_all(self._tombstones)
+            self._tombstones.clear()
+        self._dead_count = 0
         moved = self._base.add_all(self._delta)
         self._delta = self._base.fresh()
         self._overlap_count = 0
         self._overlap_key = (len(self._base), 0)
+        self._dead_key = (len(self._base), 0)
         self.promotions += 1
         return moved
 
@@ -120,35 +175,54 @@ class DeltaOverlay(FactStore):
             if atom not in self._base:
                 yield atom
 
+    def _live(self, atoms: Iterable[Atom]) -> Iterator[Atom]:
+        """Base atoms not retracted through a tombstone."""
+        if not self._tombstones:
+            yield from atoms
+            return
+        for atom in atoms:
+            if atom not in self._tombstones:
+                yield atom
+
     def __contains__(self, atom: object) -> bool:
-        return atom in self._base or atom in self._delta
+        if atom in self._delta:
+            return True
+        return atom in self._base and atom not in self._tombstones
 
     def __iter__(self) -> Iterator[Atom]:
-        yield from self._base
+        yield from self._live(self._base)
         yield from self._unshadowed(self._delta)
 
     def __len__(self) -> int:
-        return len(self._base) + len(self._delta) - self._overlap()
+        return (
+            len(self._base) - self._dead()
+            + len(self._delta) - self._overlap()
+        )
 
     def count(self, predicate: Optional[str] = None) -> int:
         if predicate is None:
             return len(self)
-        if self._overlap() == 0:
+        if self._overlap() == 0 and not self._tombstones:
             # No shadowed atoms anywhere: delegate so each backend
             # keeps its O(1)/index-based counting path.
             return self._base.count(predicate) + self._delta.count(predicate)
-        return self._base.count(predicate) + sum(
+        return sum(
+            1 for _ in self._live(self._base.by_predicate(predicate))
+        ) + sum(
             1 for _ in self._unshadowed(self._delta.by_predicate(predicate))
         )
 
     # -- retrieval ---------------------------------------------------------
 
     def by_predicate(self, predicate: str) -> Iterator[Atom]:
-        yield from self._base.by_predicate(predicate)
+        yield from self._live(self._base.by_predicate(predicate))
         yield from self._unshadowed(self._delta.by_predicate(predicate))
 
     def predicates(self) -> set[str]:
-        return self._base.predicates() | self._delta.predicates()
+        names = self._base.predicates() | self._delta.predicates()
+        if self._tombstones:
+            names = {n for n in names if any(True for _ in self.by_predicate(n))}
+        return names
 
     def matching_bound(
         self,
@@ -156,14 +230,16 @@ class DeltaOverlay(FactStore):
         bound: Mapping[int, Term],
         arity: Optional[int] = None,
     ) -> Iterator[Atom]:
-        yield from self._base.matching_bound(predicate, bound, arity)
+        yield from self._live(
+            self._base.matching_bound(predicate, bound, arity)
+        )
         yield from self._unshadowed(
             self._delta.matching_bound(predicate, bound, arity)
         )
 
     def matching(self, pattern: Atom) -> Iterator[Atom]:
         # Delegate per layer so each backend keeps its optimized path.
-        yield from self._base.matching(pattern)
+        yield from self._live(self._base.matching(pattern))
         yield from self._unshadowed(self._delta.matching(pattern))
 
     # -- lifecycle ---------------------------------------------------------
@@ -174,6 +250,8 @@ class DeltaOverlay(FactStore):
     def copy(self) -> "DeltaOverlay":
         clone = DeltaOverlay(self._base.copy())
         clone._delta.add_all(self._delta)
+        clone._tombstones = set(self._tombstones)
+        clone._dead_key = None
         return clone
 
     # -- accounting --------------------------------------------------------
@@ -194,6 +272,7 @@ class DeltaOverlay(FactStore):
             (f"delta.{name}", size)
             for name, size in delta_report.components.items()
         )
+        components["tombstones"] = deep_sizeof(self._tombstones, seen)
         return MemoryReport(
             backend=self.backend_name,
             atom_count=len(self),

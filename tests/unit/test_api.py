@@ -233,7 +233,10 @@ class TestSession:
         assert second.to_set() == frozenset({(b,), (c,)})
         assert second.stats.from_cache
 
-    def test_add_facts_invalidates_caches(self):
+    def test_add_facts_upgrades_cached_fixpoint(self):
+        """EDB updates no longer destroy saturated materializations:
+        the cached fixpoint is maintained in place (repro.incremental)
+        and the next query is a cache hit with the *new* answers."""
         session = Session()
         session.load(TC_SOURCE)
         session.query("q(X,Y) :- t(X,Y).").to_set()
@@ -241,9 +244,40 @@ class TestSession:
         session.add_facts(extra)
         stream = session.query("q(X,Y) :- t(X,Y).")
         answers = stream.to_set()
-        assert not stream.stats.from_cache
+        assert stream.stats.from_cache  # upgraded, not recomputed
         d = Constant("d")
         assert (c, d) in answers and (a, d) in answers
+
+    def test_retraction_maintains_cached_fixpoint(self):
+        session = Session()
+        session.load(TC_SOURCE)
+        assert session.answers("q(X,Y) :- t(X,Y).") == TC_ANSWERS
+        _, gone = parse_program("e(b,c).")
+        report = session.apply(retracts=list(gone))
+        assert report.dropped == 1
+        assert report.maintained and not report.fallbacks
+        stream = session.query("q(X,Y) :- t(X,Y).")
+        assert stream.to_set() == frozenset({(a, b)})
+        assert stream.stats.from_cache
+
+    def test_existential_program_falls_back_on_update(self):
+        session = Session()
+        # Existential but terminating: the chase saturates and caches
+        # its materialization, which is outside the maintainable
+        # fragment (nulls have no recorded provenance).
+        session.load("""
+            p(a). p(b).
+            r(X,K) :- p(X).
+        """)
+        session.query("q(X) :- r(X,Y).", method="chase").to_set()
+        _, extra = parse_program("p(zz).")
+        report = session.apply(inserts=list(extra))
+        assert report.fallbacks and not report.maintained
+        assert "existential" in report.fallbacks[0][1]
+        stream = session.query("q(X) :- r(X,Y).", method="chase")
+        answers = stream.to_set()
+        assert not stream.stats.from_cache  # recomputed, by design
+        assert (Constant("zz"),) in answers
 
     def test_abstraction_cached_for_proof_tree_engines(self):
         session = Session()
@@ -363,3 +397,35 @@ class TestExecutePlan:
         )
         assert set(network.to_set()) == TC_ANSWERS
         assert network.stats.events > 0
+
+
+class TestTopLevelExports:
+    """The public surface is reachable from the package root."""
+
+    def test_session_layer_surfaces_at_root(self):
+        import repro
+
+        assert repro.Session is Session
+        from repro.api import AnswerStream
+        assert repro.AnswerStream is AnswerStream
+
+    def test_incremental_layer_surfaces_at_root(self):
+        import repro
+        from repro.incremental import ChangeSet, MutationLog
+
+        assert repro.ChangeSet is ChangeSet
+        assert repro.MutationLog is MutationLog
+
+    def test_dir_lists_lazy_names(self):
+        import repro
+
+        listed = dir(repro)
+        for name in ("Session", "AnswerStream", "ChangeSet", "api",
+                     "incremental"):
+            assert name in listed, name
+
+    def test_unknown_attribute_still_raises(self):
+        import repro
+
+        with pytest.raises(AttributeError, match="frobnicate"):
+            repro.frobnicate

@@ -121,3 +121,45 @@ class TestCorpusStatistics:
         rows = stats.rows()
         assert len(rows) == 3
         assert abs(sum(fraction for _, _, fraction in rows) - 1.0) < 1e-9
+
+
+class TestChurnFamily:
+    def test_deterministic_in_seed(self):
+        from repro.benchsuite import generate_churn
+
+        first = generate_churn(vertices=32, edges=64, clusters=4,
+                               steps=5, seed=7)
+        second = generate_churn(vertices=32, edges=64, clusters=4,
+                                steps=5, seed=7)
+        assert set(first.scenario.database) == set(second.scenario.database)
+        assert [s.ops for s in first.steps] == [s.ops for s in second.steps]
+
+    def test_batches_bounded_and_mixed(self):
+        from repro.benchsuite import generate_churn
+
+        churn = generate_churn(vertices=32, edges=64, clusters=4,
+                               steps=8, churn=0.1, seed=11)
+        bound = int(0.1 * 64)
+        for step in churn.steps:
+            assert len(step.inserts) + len(step.retracts) <= bound
+            assert step.retracts, "every batch must exercise retraction"
+            assert step.inserts, "every batch must exercise insertion"
+
+    def test_program_is_maintainable_fragment(self):
+        from repro.api.program import compile_program
+        from repro.benchsuite import generate_churn
+        from repro.incremental import unmaintainable_reason
+
+        churn = generate_churn(vertices=16, edges=24, clusters=2,
+                               steps=2, seed=3)
+        compiled = compile_program(churn.scenario.program)
+        assert unmaintainable_reason(compiled.analysis) is None
+        assert len(churn.scenario.queries) == 3
+
+    def test_rejects_bad_parameters(self):
+        from repro.benchsuite import generate_churn
+
+        with pytest.raises(ValueError, match="churn"):
+            generate_churn(churn=0.0, steps=1)
+        with pytest.raises(ValueError, match="divisible"):
+            generate_churn(vertices=10, clusters=3, steps=1)

@@ -236,6 +236,7 @@ class TestStoreOption:
             ["chase", "FILE"],
             ["stats"],
             ["rewrite", "FILE", "--query", "q(X,Y) :- t(X,Y)."],
+            ["update", "FILE", "--changes", "nope.delta"],
         ],
     )
     def test_every_subcommand_validates_store(self, program_file, argv,
@@ -280,3 +281,104 @@ class TestRewrite:
         )
         assert code == 3
         assert "TRUNCATED" in output
+
+
+class TestUpdate:
+    def run_with_stdin(self, argv, text):
+        out = io.StringIO()
+        code = main(argv, out=out, stdin=io.StringIO(text))
+        return code, out.getvalue()
+
+    def test_insert_and_retract_maintain_cached_fixpoint(self, program_file):
+        code, output = self.run_with_stdin(
+            [
+                "update", str(program_file),
+                "--query", "q(X,Y) :- t(X,Y).",
+            ],
+            "+e(c,d).\n-e(a,b).\n",
+        )
+        assert code == 0
+        assert "edb: +1 fact(s), -1 fact(s)" in output
+        assert "maintained datalog×instance fixpoint" in output
+        # the post-update answers reflect both the insert and retract
+        assert "(b, d)" in output and "(a, b)" not in output
+
+    def test_changes_file_and_store_flag(self, program_file, tmp_path):
+        delta = tmp_path / "changes.delta"
+        delta.write_text("# new edge\n+e(c,d).\n")
+        code, output = run(
+            [
+                "update", str(program_file),
+                "--changes", str(delta),
+                "--query", "q(X,Y) :- t(X,Y).",
+                "--store", "columnar",
+            ]
+        )
+        assert code == 0
+        assert "maintained datalog×columnar fixpoint" in output
+        assert "(a, d)" in output
+
+    def test_batch_separator_applies_sequentially(self, program_file):
+        code, output = self.run_with_stdin(
+            [
+                "update", str(program_file),
+                "--query", "q(X,Y) :- t(X,Y).",
+            ],
+            "+e(c,d).\n--\n-e(c,d).\n",
+        )
+        assert code == 0
+        assert "batch 1:" in output and "batch 2:" in output
+        # net effect of the two batches is zero
+        assert "3 certain answer(s)" in output
+
+    def test_no_cached_fixpoint_reports_nothing_to_maintain(
+        self, program_file
+    ):
+        code, output = self.run_with_stdin(
+            ["update", str(program_file)], "+e(c,d).\n"
+        )
+        assert code == 0
+        assert "no cached fixpoints to maintain" in output
+
+    def test_rederive_counter_surfaces(self, tmp_path):
+        # two parallel paths a→b: retracting one rederives t(a,b)
+        path = tmp_path / "diamond.vada"
+        path.write_text("""
+            e(a,b). f(a,b).
+            t(X,Y) :- e(X,Y).
+            t(X,Y) :- f(X,Y).
+            t(X,Z) :- e(X,Y), t(Y,Z).
+        """)
+        code, output = self.run_with_stdin(
+            ["update", str(path), "--query", "q(X,Y) :- t(X,Y)."],
+            "-e(a,b).\n",
+        )
+        assert code == 0
+        assert "1 rederived" in output
+        assert "(a, b)" in output  # still derivable through f
+
+    def test_bad_delta_line_fails_with_batch_diagnostic(self, program_file):
+        code, output = self.run_with_stdin(
+            ["update", str(program_file)], "+e(X,b).\n"
+        )
+        assert code == 3
+        assert "error in batch 1" in output
+
+    def test_failed_batch_stops_later_batches(self, program_file):
+        """Batches are sequential: nothing after a failed batch may
+        apply (a 1,3 application with a gap matches no valid input)."""
+        code, output = self.run_with_stdin(
+            ["update", str(program_file),
+             "--query", "q(X,Y) :- t(X,Y)."],
+            "+e(c,d).\n--\n+bad(X.\n--\n-e(c,d).\n",
+        )
+        assert code == 3
+        assert "error in batch 2" in output
+        assert "applied 1 batch(es)" in output
+        assert "batch 3:" not in output
+        # batch 1 applied, batch 3 did not revert it
+        assert "(c, d)" in output
+
+    def test_missing_changes_file(self, program_file):
+        with pytest.raises(SystemExit, match="cannot read"):
+            run(["update", str(program_file), "--changes", "missing.delta"])

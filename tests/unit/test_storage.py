@@ -332,3 +332,122 @@ class TestDeepSizeof:
 
     def test_counts_slotted_objects(self):
         assert deep_sizeof(Atom("r", (a, b))) > 0
+
+
+class TestDiscard:
+    """Retraction support: observational equivalence across backends."""
+
+    ATOMS = [
+        Atom("r", (a, b)), Atom("r", (a, c)), Atom("r", (b, c)),
+        Atom("s", (a,)), Atom("s", (b,)),
+    ]
+
+    def observe(self, store):
+        return {
+            "atoms": set(store),
+            "len": len(store),
+            "predicates": store.predicates(),
+            "counts": {p: store.count(p) for p in ("r", "s", "missing")},
+            "r_a_probe": set(store.matching(Atom("r", (a, X)))),
+            "contains": [atom in store for atom in self.ATOMS],
+            "domain": store.active_domain(),
+        }
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_discard_mirrors_instance_semantics(self, backend):
+        reference = Instance(self.ATOMS)
+        store = make_store(backend, self.ATOMS)
+        for atom in (Atom("r", (a, b)), Atom("s", (b,)),
+                     Atom("missing", (a,)), Atom("r", (a, b))):
+            assert store.discard(atom) == reference.discard(atom)
+        assert self.observe(store) == self.observe(reference)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_discard_then_readd_roundtrips(self, backend):
+        store = make_store(backend, self.ATOMS)
+        assert store.discard(Atom("r", (a, b)))
+        assert Atom("r", (a, b)) not in store
+        assert store.add(Atom("r", (a, b)))
+        assert self.observe(store) == self.observe(Instance(self.ATOMS))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_discard_all_counts_present_only(self, backend):
+        store = make_store(backend, self.ATOMS)
+        removed = store.discard_all(
+            [Atom("r", (a, b)), Atom("missing", (a,)), Atom("r", (a, c))]
+        )
+        assert removed == 2
+        assert len(store) == 3
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_interleaved_mutation_keeps_indexes_coherent(self, backend):
+        """Probe (building lazy indexes), mutate, probe again."""
+        store = make_store(backend, self.ATOMS)
+        assert len(set(store.matching(Atom("r", (a, X))))) == 2  # build
+        store.discard(Atom("r", (a, c)))
+        store.add(Atom("r", (a, d)))
+        store.discard(Atom("r", (b, c)))
+        expected = {Atom("r", (a, b)), Atom("r", (a, d))}
+        assert set(store.matching(Atom("r", (a, X)))) == {
+            Atom("r", (a, b)), Atom("r", (a, d))
+        }
+        assert set(store.by_predicate("r")) == expected
+        assert store.count("r") == 2
+
+    def test_columnar_probe_cache_invalidated_by_discard(self):
+        store = ColumnarStore(self.ATOMS)
+        first = set(store.matching(Atom("r", (a, X))))
+        assert set(store.matching(Atom("r", (a, X)))) == first
+        assert store.cache_hits >= 1
+        store.discard(Atom("r", (a, c)))
+        assert set(store.matching(Atom("r", (a, X)))) == {Atom("r", (a, b))}
+
+    def test_columnar_swap_remove_keeps_last_row_reachable(self):
+        store = ColumnarStore()
+        atoms = [Atom("r", (Constant(f"x{i}"), Constant(f"y{i}")))
+                 for i in range(10)]
+        store.add_all(atoms)
+        # build both position indexes, then delete from the middle
+        assert set(store.matching(Atom("r", (Constant("x3"), Y))))
+        assert set(store.matching(Atom("r", (X, Constant("y7")))))
+        store.discard(atoms[3])
+        store.discard(atoms[0])
+        survivors = set(atoms) - {atoms[3], atoms[0]}
+        assert set(store) == survivors
+        for atom in survivors:
+            assert set(store.matching(atom)) == {atom}
+
+    def test_delta_overlay_tombstones_base_atoms(self):
+        base = ColumnarStore([Atom("r", (a, b)), Atom("r", (b, c))])
+        overlay = DeltaOverlay(base)
+        overlay.add(Atom("r", (c, d)))
+        assert overlay.discard(Atom("r", (a, b)))      # base → tombstone
+        assert overlay.discard(Atom("r", (c, d)))      # delta → gone
+        assert not overlay.discard(Atom("r", (a, b)))  # already dead
+        assert Atom("r", (a, b)) not in overlay
+        assert len(overlay) == 1
+        assert len(base) == 2  # base untouched until promote
+        assert set(overlay.by_predicate("r")) == {Atom("r", (b, c))}
+
+    def test_delta_overlay_readd_resurrects_base_atom(self):
+        overlay = DeltaOverlay(ColumnarStore([Atom("r", (a, b))]))
+        overlay.discard(Atom("r", (a, b)))
+        assert overlay.add(Atom("r", (a, b)))
+        assert Atom("r", (a, b)) in overlay
+        assert len(overlay) == 1
+        assert len(overlay.delta) == 0  # the base copy shows through
+
+    def test_delta_overlay_promote_applies_tombstones(self):
+        base = ColumnarStore([Atom("r", (a, b)), Atom("r", (b, c))])
+        overlay = DeltaOverlay(base)
+        overlay.add(Atom("r", (c, d)))
+        overlay.discard(Atom("r", (a, b)))
+        overlay.promote()
+        assert set(base) == {Atom("r", (b, c)), Atom("r", (c, d))}
+        assert set(overlay) == set(base)
+        assert overlay.memory_report().atom_count == 2
+
+    def test_delta_overlay_memory_report_counts_tombstones(self):
+        overlay = DeltaOverlay(ColumnarStore([Atom("r", (a, b))]))
+        overlay.discard(Atom("r", (a, b)))
+        assert "tombstones" in overlay.memory_report().components
