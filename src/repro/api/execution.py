@@ -64,29 +64,47 @@ def execute_plan(
     their saturated result on completion, and the proof-tree engines
     reuse the session's star abstraction.
     """
-    stats = StreamStats(method=plan.method)
+    stats = StreamStats(method=plan.method, rewrite=plan.rewrite)
     query = plan.query
     program = plan.program.program
     kwargs = dict(plan.engine_kwargs)
 
     if plan.method == "datalog":
+        # With a magic rewriting attached, the engine runs the demand
+        # program over EDB ∪ seed facts and surfaces answers through
+        # the rewritten query.  ``stream_new_answers`` delta-evaluates
+        # on the goal predicate only, so magic/supplementary/adorned
+        # atoms never reach the answer stream.
+        rewriting = plan.rewriting
+        run_query = rewriting.query if rewriting is not None else query
+        run_program = (
+            rewriting.program if rewriting is not None else program
+        )
 
         def factory():
             cached = session.get_fixpoint(plan) if session else None
             if cached is not None:
                 stats.from_cache = True
                 stats.saturated = True
-                yield from sorted(query.evaluate(cached), key=str)
+                yield from sorted(run_query.evaluate(cached), key=str)
                 return
+            facts = database
+            if rewriting is not None:
+                # A real list, not itertools.chain: seminaive_rounds
+                # iterates its database argument several times (store
+                # seed, delta seed, round-0 snapshot), so the seeded
+                # view must be re-iterable.  The copy is atom refs only.
+                facts = list(database)
+                facts.extend(rewriting.seed)
             on_fixpoint = (
                 (lambda instance: session.set_fixpoint(plan, instance))
                 if session
                 else None
             )
             yield from stream_datalog_answers(
-                query,
-                database,
-                program,
+                run_query,
+                facts,
+                run_program,
                 store=plan.store,
                 on_fixpoint=on_fixpoint,
                 stats=stats,

@@ -11,16 +11,22 @@ with a stable :meth:`QueryPlan.explain` rendering.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Tuple
+from typing import Any, Callable, Mapping, Optional, Tuple
 
 from ..core.query import ConjunctiveQuery
+from ..rewriting.magic import MagicRewriting, magic_rewrite, query_constants
 from ..storage import BACKENDS, FactStore
 from .program import CompiledProgram, compile_program
 
-__all__ = ["Planner", "QueryPlan", "ENGINES"]
+__all__ = ["Planner", "QueryPlan", "ENGINES", "REWRITES"]
 
 #: Engine names a plan can resolve to (``"auto"`` is accepted as input).
 ENGINES = ("datalog", "pwl", "ward", "chase", "network")
+
+#: Values of the plan's rewrite dimension (``"auto"`` applies the
+#: magic-set demand transformation exactly when it pays: a full
+#: program, the datalog engine, and ≥1 bound argument in the query).
+REWRITES = ("auto", "magic", "none")
 
 _ENGINE_LABELS = {
     "datalog": "semi-naive least fixpoint (exact for full programs)",
@@ -103,6 +109,12 @@ class QueryPlan:
     reasons: Tuple[str, ...] = ()
     steps: Tuple[str, ...] = ()
     engine_kwargs: Mapping[str, Any] = field(compare=False, default_factory=dict)
+    #: The resolved rewrite dimension: ``"magic"`` iff ``rewriting`` is
+    #: attached, else ``"none"``; ``rewrite_note`` carries the stable
+    #: human-readable why/why-not shown by :meth:`explain`.
+    rewrite: str = "none"
+    rewrite_note: str = "none (plan not built by Planner.plan)"
+    rewriting: Optional[MagicRewriting] = field(compare=False, default=None)
     #: Whether a saturated materialization of this plan can be upgraded
     #: in place under EDB change sets (see :mod:`repro.incremental`);
     #: ``maintenance`` carries the human-readable why/why-not.  The
@@ -126,6 +138,7 @@ class QueryPlan:
             f"max level {analysis.max_level}, "
             f"{len(analysis.strata.layers)} stratum/strata",
             f"  engine  : {self.method} — {self.engine_label}",
+            f"  rewrite : {self.rewrite_note}",
             f"  store   : {self.store_name}",
             f"  update  : {self.maintenance}",
             "  why:",
@@ -185,22 +198,104 @@ class Planner:
         *,
         method: str = "auto",
         store="instance",
+        rewrite: str = "auto",
+        magic_provider: Optional[Callable] = None,
         **engine_kwargs,
     ) -> QueryPlan:
         """Build the :class:`QueryPlan` for one query.
 
         ``store`` is validated against :data:`repro.storage.BACKENDS`
-        when given by name.  Remaining keyword arguments are forwarded
-        to the chosen engine (``probe_depth``, ``width_bound``,
-        ``strict``, ``max_atoms``, ...).
+        when given by name.  ``rewrite`` selects the demand dimension
+        (:data:`REWRITES`): ``"auto"`` applies the magic-set rewriting
+        exactly when the program is full, the plan resolved to the
+        datalog engine, and the query binds at least one argument;
+        ``"magic"`` forces it (an error outside that fragment);
+        ``"none"`` disables it.  ``magic_provider``, if given, builds
+        the :class:`~repro.rewriting.magic.MagicRewriting` — the
+        session passes its per-(program, binding-pattern) cache here.
+        Remaining keyword arguments are forwarded to the chosen engine
+        (``probe_depth``, ``width_bound``, ``strict``, ``max_atoms``,
+        ...).
         """
         compiled = compile_program(compiled)
         validate_store(store)
         resolved, reasons = self.resolve(compiled, method)
+        if rewrite not in REWRITES:
+            raise ValueError(
+                f"unknown rewrite {rewrite!r}; choose one of "
+                f"{', '.join(REWRITES)}"
+            )
+        rewriting = None
+        bound = len(query_constants(query))
+        if rewrite == "none":
+            rewrite_note = "none (disabled by the caller)"
+        elif resolved != "datalog":
+            if rewrite == "magic":
+                raise ValueError(
+                    "magic rewriting runs on the datalog engine's full "
+                    f"fixpoint; this plan resolved to {resolved!r}"
+                )
+            rewrite_note = (
+                f"none (engine {resolved!r} does not saturate a full "
+                "fixpoint to restrict)"
+            )
+        elif not compiled.analysis.full:
+            if rewrite == "magic":
+                raise ValueError(
+                    "magic rewriting needs a full (existential-free) "
+                    "program"
+                )
+            rewrite_note = "none (program has existential rules)"
+        elif rewrite == "auto" and bound == 0:
+            rewrite_note = (
+                "none (no bound argument in the query — demand would "
+                "cover the whole fixpoint)"
+            )
+        else:
+            if magic_provider is not None:
+                rewriting = magic_provider(compiled, query)
+            else:
+                rewriting = magic_rewrite(compiled.program, query)
+            if rewrite == "auto" and not rewriting.adorned.restricts:
+                # Demand leaves some reachable intensional predicate
+                # all-free (possibly every one): that predicate's whole
+                # fixpoint is re-derived plus magic/sup bookkeeping, so
+                # ``auto`` conservatively declines — even when *other*
+                # predicates are bound and a mixed rewriting could
+                # still win; ``rewrite="magic"`` forces it for those.
+                rewriting = None
+                rewrite_note = (
+                    "none (demand leaves a reachable intensional "
+                    "predicate all-free — it would re-derive that "
+                    "whole fixpoint; rewrite='magic' overrides)"
+                )
+            elif rewriting.adorned.restricts:
+                rewrite_note = rewriting.describe()
+                reasons = reasons + (
+                    f"query binds {bound} argument(s) on a full "
+                    "program → magic-set rewriting restricts "
+                    "evaluation to demanded facts",
+                )
+            else:
+                # Forced magic whose bindings do not restrict the
+                # fixpoint: apply it as asked, but say so honestly.
+                rewrite_note = rewriting.describe() + " (forced)"
+                reasons = reasons + (
+                    "magic rewriting forced by the caller; the "
+                    f"{bound} bound argument(s) leave some demanded "
+                    "predicate all-free, so demand does not restrict "
+                    "the fixpoint",
+                )
         from ..incremental import unmaintainable_reason
 
         gap = unmaintainable_reason(compiled.analysis)
-        if gap is None and resolved in ("pwl", "ward"):
+        if rewriting is not None:
+            maintainable = False
+            maintenance = (
+                "recompute on EDB change (magic-rewritten "
+                "materialization is demand-specific)"
+            )
+        elif gap is None and resolved in ("pwl", "ward"):
             # The proof-tree engines hold no materialization to
             # maintain; their abstraction is recomputed per EDB change.
             maintainable = False
@@ -223,6 +318,9 @@ class Planner:
             reasons=reasons,
             steps=_PIPELINES[resolved],
             engine_kwargs=dict(engine_kwargs),
+            rewrite="magic" if rewriting is not None else "none",
+            rewrite_note=rewrite_note,
+            rewriting=rewriting,
             maintainable=maintainable,
             maintenance=maintenance,
         )

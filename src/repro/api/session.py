@@ -39,6 +39,12 @@ from ..incremental import (
     unmaintainable_reason,
 )
 from ..lang.parser import parse_program, parse_query
+from ..rewriting.magic import (
+    AdornedProgram,
+    MagicRewriting,
+    adorn_program,
+    binding_pattern,
+)
 from ..storage import FactStore
 from .execution import execute_plan
 from .planner import Planner, QueryPlan, validate_store
@@ -60,15 +66,19 @@ class _FixpointEntry:
     (built lazily on the first change) instead of dropping the store.
     """
 
-    __slots__ = ("store", "version", "compiled", "maintainer", "label")
+    __slots__ = (
+        "store", "version", "compiled", "maintainer", "label", "rewrite"
+    )
 
     def __init__(self, store: FactStore, version: int,
-                 compiled: CompiledProgram, label: str):
+                 compiled: CompiledProgram, label: str,
+                 rewrite: str = "none"):
         self.store = store
         self.version = version
         self.compiled = compiled
         self.maintainer: Optional[FixpointMaintainer] = None
         self.label = label
+        self.rewrite = rewrite
 
 
 class Session:
@@ -94,6 +104,13 @@ class Session:
         self._external: list = []  # externally compiled, kept alive
         self._last: Optional[CompiledProgram] = None
         self._abstractions: Dict[Tuple[int, int], Instance] = {}
+        #: Adorned demand programs, cached per (compiled program,
+        #: binding pattern): two point queries differing only in their
+        #: constants share one rewriting and differ only in seed facts.
+        #: LRU-bounded like the magic fixpoint cache — binding patterns
+        #: are structural, but programmatically generated query shapes
+        #: would otherwise grow it without limit.
+        self._adorned: Dict[tuple, AdornedProgram] = {}
         self._fixpoints: Dict[tuple, _FixpointEntry] = {}
         #: Reports from *lazy* catch-ups (a lagging entry healed — or
         #: dropped, with the reason — on the read path); :meth:`apply`
@@ -196,6 +213,21 @@ class Session:
         batch, which stays exact for both DRed and counting.
         """
         entry = self._fixpoints[key]
+        if entry.rewrite == "magic":
+            # A magic materialization is the fixpoint of the *demand*
+            # program seeded from one query's constants; maintaining it
+            # against the unrewritten program would silently corrupt
+            # it, so the fallback is recompute-on-next-query, recorded.
+            del self._fixpoints[key]
+            report.fallbacks.append(
+                (
+                    entry.label,
+                    "magic-rewritten fixpoint is demand-specific "
+                    "(seeded from the query's constants); recomputing "
+                    "on next query",
+                )
+            )
+            return
         reason = unmaintainable_reason(entry.compiled.analysis)
         if reason is not None:
             del self._fixpoints[key]
@@ -289,15 +321,47 @@ class Session:
         *,
         program: ProgramLike = None,
         method: str = "auto",
+        rewrite: str = "auto",
         **engine_kwargs,
     ) -> QueryPlan:
-        """Plan a query without running it (see :meth:`QueryPlan.explain`)."""
+        """Plan a query without running it (see :meth:`QueryPlan.explain`).
+
+        ``rewrite`` selects the demand dimension
+        (:data:`repro.api.planner.REWRITES`); adorned demand programs
+        are cached per (program, binding pattern), so repeated point
+        queries pay the rewriting once.
+        """
         if isinstance(query, str):
             query = parse_query(query)
         compiled = self._resolve_program(program)
         return self.planner.plan(
-            compiled, query, method=method, store=self.store, **engine_kwargs
+            compiled,
+            query,
+            method=method,
+            store=self.store,
+            rewrite=rewrite,
+            magic_provider=self._magic_for,
+            **engine_kwargs,
         )
+
+    #: Cap on cached adorned demand programs (per binding pattern).
+    _ADORNED_CACHE_LIMIT = 64
+
+    def _magic_for(
+        self, compiled: CompiledProgram, query: ConjunctiveQuery
+    ) -> MagicRewriting:
+        """The cached adorned program for this binding pattern,
+        instantiated with the query's actual constants."""
+        key = (id(compiled), binding_pattern(query))
+        adorned = self._adorned.get(key)
+        if adorned is None:
+            adorned = adorn_program(compiled.program, query)
+            self._adorned[key] = adorned
+            for stale in list(self._adorned)[: -self._ADORNED_CACHE_LIMIT]:
+                del self._adorned[stale]
+        else:
+            self._adorned[key] = self._adorned.pop(key)  # LRU refresh
+        return adorned.instantiate(query)
 
     def explain(self, query: QueryLike, **plan_kwargs) -> str:
         """The stable rendering of the plan :meth:`query` would execute."""
@@ -309,16 +373,22 @@ class Session:
         *,
         program: ProgramLike = None,
         method: str = "auto",
+        rewrite: str = "auto",
         **engine_kwargs,
     ) -> AnswerStream:
         """Answer a query against the session EDB, lazily.
 
         Returns an :class:`AnswerStream`; the engine starts on the
         first pull, and its materialized set equals the legacy eager
-        ``certain_answers`` for the same arguments.
+        ``certain_answers`` for the same arguments (the magic rewriting
+        only restricts *how much* is derived, never the answers).
         """
         plan = self.plan(
-            query, program=program, method=method, **engine_kwargs
+            query,
+            program=program,
+            method=method,
+            rewrite=rewrite,
+            **engine_kwargs,
         )
         return execute_plan(plan, self.edb, session=self)
 
@@ -373,18 +443,36 @@ class Session:
     def _fixpoint_key(self, plan: QueryPlan) -> tuple:
         # No EDB version in the key: entries carry their own watermark
         # and are moved forward by the maintainer instead of being
-        # orphaned per version.
+        # orphaned per version.  Magic plans additionally key on the
+        # rewriting identity (binding pattern + seed constants): their
+        # materialization is demand-specific and must never be served
+        # to another query, or to the unrewritten plan.
         relevant = tuple(
             sorted(
                 (k, repr(v)) for k, v in plan.engine_kwargs.items()
             )
+        )
+        token = (
+            plan.rewriting.cache_token
+            if plan.rewriting is not None
+            else None
         )
         return (
             id(plan.program),
             plan.method,
             plan.store_name,
             relevant,
+            plan.rewrite,
+            token,
         )
+
+    #: Cap on *demand-specific* (magic) fixpoint entries: their cache
+    #: key includes the query's seed constants, so a read-heavy session
+    #: answering many distinct point queries would otherwise grow one
+    #: materialization per constant without bound.  Unrewritten entries
+    #: stay unbounded — their key space is the small (program, method,
+    #: store, kwargs) product.
+    _MAGIC_FIXPOINT_LIMIT = 32
 
     def get_fixpoint(self, plan: QueryPlan) -> Optional[FactStore]:
         """A cached saturated materialization for this plan, if any.
@@ -396,9 +484,14 @@ class Session:
         """
         if not self._fixpoint_cacheable(plan):
             return None
-        entry = self._fixpoints.get(self._fixpoint_key(plan))
+        key = self._fixpoint_key(plan)
+        entry = self._fixpoints.get(key)
         if entry is None:
             return None
+        if entry.rewrite == "magic":
+            # LRU refresh: magic entries are evicted oldest-first when
+            # the demand cache exceeds its cap.
+            self._fixpoints[key] = self._fixpoints.pop(key)
         if entry.version != self._edb_version:
             report = MaintenanceReport(
                 version=self._edb_version, inserted=(), retracted=()
@@ -417,10 +510,20 @@ class Session:
         """Register a saturated materialization for reuse."""
         if not self._fixpoint_cacheable(plan):
             return
+        tag = "×magic" if plan.rewrite == "magic" else ""
         label = (
-            f"{plan.method}×{plan.store_name} fixpoint "
+            f"{plan.method}×{plan.store_name}{tag} fixpoint "
             f"[{plan.program.name}]"
         )
         self._fixpoints[self._fixpoint_key(plan)] = _FixpointEntry(
-            instance, self._edb_version, plan.program, label
+            instance, self._edb_version, plan.program, label,
+            rewrite=plan.rewrite,
         )
+        if plan.rewrite == "magic":
+            magic_keys = [
+                key
+                for key, entry in self._fixpoints.items()
+                if entry.rewrite == "magic"
+            ]
+            for key in magic_keys[: -self._MAGIC_FIXPOINT_LIMIT]:
+                del self._fixpoints[key]

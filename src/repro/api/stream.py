@@ -32,7 +32,10 @@ class StreamStats:
     counts semi-naive fixpoint rounds (datalog engine) and ``events``
     counts engine steps — chase trigger firings or operator-network
     delta events — so the benchmark harness can report work per cell
-    without re-running the engine.
+    without re-running the engine.  ``rewrite`` is the plan's resolved
+    demand dimension (``"magic"`` or ``"none"``) and ``derived`` the
+    facts the datalog engine staged beyond the seeded database — the
+    pair the demand benchmark compares across plans.
     """
 
     method: str = ""
@@ -40,6 +43,8 @@ class StreamStats:
     decided_tuples: int = 0
     rounds: int = 0
     events: int = 0
+    derived: int = 0
+    rewrite: str = "none"
     saturated: Optional[bool] = None
     from_cache: bool = False
 

@@ -47,7 +47,7 @@ from .analysis import (
     node_width_bound_pwl,
     node_width_bound_ward,
 )
-from .api import ENGINES, Session
+from .api import ENGINES, REWRITES, Session
 from .chase import chase
 from .lang.parser import parse_program, parse_query
 from .storage import BACKENDS
@@ -132,6 +132,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine selection (default: dispatch on the program class)",
     )
     answer.add_argument(
+        "--rewrite",
+        default="auto",
+        choices=REWRITES,
+        help="demand (magic-set) rewriting of bound queries on full "
+             "programs (default: auto — applied exactly when it pays)",
+    )
+    answer.add_argument(
         "--explain", action="store_true",
         help="print the query plan before the answers",
     )
@@ -152,6 +159,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         choices=("auto",) + ENGINES,
         help="engine selection (default: dispatch on the program class)",
+    )
+    query.add_argument(
+        "--rewrite",
+        default="auto",
+        choices=REWRITES,
+        help="demand (magic-set) rewriting of bound queries on full "
+             "programs (default: auto — applied exactly when it pays)",
     )
     query.add_argument(
         "--explain", action="store_true",
@@ -252,6 +266,15 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("auto",) + ENGINES,
         help="engine selection for --query (default: auto)",
     )
+    update.add_argument(
+        "--rewrite",
+        default="none",
+        choices=REWRITES,
+        help="demand rewriting for the --query runs (default: none — "
+             "a magic fixpoint is demand-specific and cannot be "
+             "maintained, which would defeat this subcommand's "
+             "upgrade-in-place purpose)",
+    )
 
     rewrite = commands.add_parser(
         "rewrite",
@@ -326,7 +349,11 @@ def _cmd_classify(args, out) -> int:
 
 
 def _answer_one(session, query_text, args, out) -> None:
-    stream = session.query(query_text, method=args.method)
+    stream = session.query(
+        query_text,
+        method=args.method,
+        rewrite=getattr(args, "rewrite", "auto"),
+    )
     if getattr(args, "explain", False):
         print(stream.explain(), file=out)
     limit = getattr(args, "first", None)
@@ -349,7 +376,9 @@ def _answer_one(session, query_text, args, out) -> None:
 
 def _cmd_answer(args, out) -> int:
     session = _load_session(args)
-    stream = session.query(args.query, method=args.method)
+    stream = session.query(
+        args.query, method=args.method, rewrite=args.rewrite
+    )
     if args.explain:
         print(stream.explain(), file=out)
     # Canonical rendering (unlike `query`, which prints in stream
@@ -454,8 +483,12 @@ def _cmd_update(args, out, stdin) -> int:
     session = _load_session(args)
     for query_text in args.query:
         # Materialize once: the cached fixpoint is what maintenance
-        # upgrades (and what the post-update answers are served from).
-        session.query(query_text, method=args.method).to_set()
+        # upgrades (and what the post-update answers are served from) —
+        # hence --rewrite defaults to "none" here: a demand-specific
+        # magic fixpoint would be dropped by apply(), not upgraded.
+        session.query(
+            query_text, method=args.method, rewrite=args.rewrite
+        ).to_set()
     if args.changes == "-":
         stdin = stdin if stdin is not None else sys.stdin
         text = stdin.read()

@@ -314,15 +314,19 @@ def stream_datalog_answers(
     all rounds equals the eager :func:`datalog_answers` set.
     ``on_fixpoint``, if given, receives the final :class:`FactStore`
     (callers use it to cache the materialization).  ``stats``, if given,
-    receives a running ``rounds`` attribute.
+    receives running ``rounds`` and ``derived`` attributes.
     """
     last_instance: List[Optional[FactStore]] = [None]
 
     def tap(events):
+        derived = 0
         for event in events:
             last_instance[0] = event.instance
+            if event.index > 0:
+                derived += len(event.staged)
             if stats is not None:
                 stats.rounds = event.index
+                stats.derived = derived
             yield event
 
     yield from stream_new_answers(

@@ -31,6 +31,7 @@ from ..core.query import ConjunctiveQuery
 from ..core.terms import Constant
 from ..prooftree.canonical import canonical_form
 from ..prooftree.resolution import resolvents
+from ..storage import FactStore, StoreChoice, make_store
 
 __all__ = ["UCQRewriting", "unfold"]
 
@@ -48,9 +49,28 @@ class UCQRewriting:
     def __len__(self) -> int:
         return len(self.disjuncts)
 
-    def evaluate(self, database: Database) -> Set[Tuple[Constant, ...]]:
-        """Union of the disjuncts' evaluations over the raw database."""
-        instance = database.to_instance()
+    def evaluate(
+        self,
+        database: Database,
+        *,
+        store: Optional[StoreChoice] = None,
+    ) -> Set[Tuple[Constant, ...]]:
+        """Union of the disjuncts' evaluations over the raw database.
+
+        Like every other evaluation path, this accepts any
+        :class:`~repro.storage.FactStore` and reuses it in place —
+        evaluation only reads, so no copy is made (the old behaviour
+        rebuilt an ``Instance`` from scratch on *every* call and
+        ignored the backend the caller had already chosen).  Passing
+        ``store=`` (a backend name from :data:`repro.storage.BACKENDS`,
+        a factory, or a store) loads the facts into that backend first.
+        """
+        if store is not None:
+            instance = make_store(store, database)
+        elif isinstance(database, FactStore):
+            instance = database
+        else:
+            instance = make_store("instance", database)
         answers: Set[Tuple[Constant, ...]] = set()
         for disjunct in self.disjuncts:
             answers |= disjunct.evaluate(instance)

@@ -112,7 +112,9 @@ class ColumnarStore(FactStore):
         self._relations: Dict[str, Dict[int, _Relation]] = {}
         self._size = 0
         self._probe_cache_size = probe_cache_size
-        self._probe_cache: OrderedDict[tuple, Tuple[Atom, ...]] = OrderedDict()
+        # probe key → [matching rows, decoded atoms or None]: rows are
+        # snapshotted at probe time, atoms memoized on first full drain.
+        self._probe_cache: OrderedDict[tuple, list] = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
         self.add_all(atoms)
@@ -240,11 +242,22 @@ class ColumnarStore(FactStore):
             yield from self._probe(relation, encoded)
 
     def _probe(self, relation: _Relation, encoded: Dict[int, int]) -> Iterator[Atom]:
-        """Lazy probe through the best index, LRU-cached per version.
+        """Probe through the best index, LRU-cached per relation version.
 
-        Atoms are decoded as the consumer pulls them, so existence
-        checks stop after one witness; the materialized result is
-        cached only when the consumer drains the whole probe.
+        The matching *rows* are materialized up front, before the first
+        yield: this generator may be suspended across store mutations,
+        and a ``discard`` swap-remove moves rows under previously
+        snapshotted row numbers — dereferencing them lazily used to
+        yield a wrong atom at the probe position (or raise IndexError).
+        Snapshotting rows also matches :meth:`by_predicate`'s contract
+        (the result reflects the store at probe start) and lets every
+        probe populate the cache whether or not the consumer drains it,
+        so repeated existence checks on one key hit the cache instead
+        of re-scanning.  Only decoding stays lazy (per pull).
+
+        Counter semantics (pinned by ``test_storage``): each ``_probe``
+        call is exactly one ``cache_hits`` or one ``cache_misses``,
+        partial drains included.
         """
         key = (
             relation.predicate,
@@ -252,38 +265,50 @@ class ColumnarStore(FactStore):
             relation.version,
             tuple(sorted(encoded.items())),
         )
-        cached = self._probe_cache.get(key)
-        if cached is not None:
+        entry = self._probe_cache.get(key)
+        if entry is not None:
             self.cache_hits += 1
             self._probe_cache.move_to_end(key)
-            yield from cached
+        else:
+            self.cache_misses += 1
+            # Probe through the position with the smallest bucket among
+            # the already-built indexes; build one for the first bound
+            # position when none exists yet.
+            built = [p for p in encoded if p in relation.indexes]
+            probe_position = (
+                min(built, key=lambda p: len(relation.indexes[p].get(encoded[p], ())))
+                if built
+                else min(encoded)
+            )
+            bucket = relation.index_for(probe_position).get(
+                encoded[probe_position], ()
+            )
+            entry = [
+                tuple(
+                    row
+                    for row in (
+                        relation.rows[number] for number in tuple(bucket)
+                    )
+                    if all(row[p] == tid for p, tid in encoded.items())
+                ),
+                None,
+            ]
+            if self._probe_cache_size > 0:
+                self._probe_cache[key] = entry
+                while len(self._probe_cache) > self._probe_cache_size:
+                    self._probe_cache.popitem(last=False)
+        rows, decoded = entry
+        if decoded is not None:
+            yield from decoded
             return
-        self.cache_misses += 1
-        # Probe through the position with the smallest bucket among the
-        # already-built indexes; build one for the first bound position
-        # when none exists yet.  The bucket is snapshotted so the store
-        # may grow while the consumer iterates.
-        built = [p for p in encoded if p in relation.indexes]
-        probe_position = (
-            min(built, key=lambda p: len(relation.indexes[p].get(encoded[p], ())))
-            if built
-            else min(encoded)
-        )
-        bucket = tuple(
-            relation.index_for(probe_position).get(encoded[probe_position], ())
-        )
-        rest = [(p, tid) for p, tid in encoded.items() if p != probe_position]
         collected: List[Atom] = []
-        for row_number in bucket:
-            row = relation.rows[row_number]
-            if all(row[p] == tid for p, tid in rest):
-                atom = self._decode(relation.predicate, row)
-                collected.append(atom)
-                yield atom
-        if self._probe_cache_size > 0:
-            self._probe_cache[key] = tuple(collected)
-            while len(self._probe_cache) > self._probe_cache_size:
-                self._probe_cache.popitem(last=False)
+        for row in rows:
+            atom = self._decode(relation.predicate, row)
+            collected.append(atom)
+            yield atom
+        # Full drain: memoize the decoded atoms so repeated hits on
+        # this (relation version, probe) stop paying per-row decoding.
+        entry[1] = tuple(collected)
 
     # -- lifecycle ---------------------------------------------------------
 

@@ -229,9 +229,20 @@ class TestSession:
         first = session.query("q(X,Y) :- t(X,Y).")
         first.to_set()
         assert not first.stats.from_cache
-        second = session.query("q(X) :- t(a,X).")
+        # With the demand rewrite disabled, the bound query reuses the
+        # unbound query's saturated materialization.
+        second = session.query("q(X) :- t(a,X).", rewrite="none")
         assert second.to_set() == frozenset({(b,), (c,)})
         assert second.stats.from_cache
+        # Under rewrite=auto the same bound query takes a magic plan
+        # instead: a demand-specific fixpoint, cached under its own key.
+        third = session.query("q(X) :- t(a,X).")
+        assert third.to_set() == frozenset({(b,), (c,)})
+        assert third.stats.rewrite == "magic"
+        assert not third.stats.from_cache
+        repeat = session.query("q(X) :- t(a,X).")
+        assert repeat.to_set() == frozenset({(b,), (c,)})
+        assert repeat.stats.from_cache
 
     def test_add_facts_upgrades_cached_fixpoint(self):
         """EDB updates no longer destroy saturated materializations:

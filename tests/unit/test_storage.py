@@ -394,6 +394,84 @@ class TestDiscard:
         assert set(store.by_predicate("r")) == expected
         assert store.count("r") == 2
 
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_probe_iteration_interleaved_with_discard(self, backend):
+        """Regression: a suspended ``matching_bound`` generator must
+        survive ``discard`` (columnar swap-remove) without yielding a
+        wrong atom, a duplicate, or raising IndexError.  Backends may
+        differ on whether a concurrently discarded atom still appears
+        (snapshot vs lazy tombstone filtering), but every yielded atom
+        must genuinely match the probe and every never-discarded match
+        must be yielded."""
+        matching = [Atom("r", (a, Constant(f"y{i}"))) for i in range(6)]
+        atoms = matching + [Atom("r", (b, c))]
+        store = make_store(backend, atoms)
+        # No warm-up probe: an identical earlier probe would park the
+        # result in the columnar cache and mask the lazy-row-read bug.
+        probe = store.matching_bound("r", {1: a})
+        got = [next(probe)]
+        # Shrink the row list by three mid-iteration (stale high row
+        # numbers go out of bounds; swap-remove moves survivors and the
+        # non-matching last row under snapshotted numbers).
+        discarded = {Atom("r", (b, c)), matching[4], matching[2]}
+        for atom in discarded:
+            assert store.discard(atom)
+        got.extend(probe)
+        assert len(got) == len(set(got))  # no duplicates
+        for atom in got:
+            assert atom.args[0] == a, f"probe yielded non-matching {atom}"
+        assert set(matching) - discarded <= set(got) <= set(matching)
+
+    def test_columnar_probe_no_wrong_atom_after_swap_remove(self):
+        """Regression: swap-remove used to move the *last* row under a
+        snapshotted row number, making the suspended probe yield an
+        atom that does not match the probe position."""
+        wrong = Atom("r", (b, c))
+        store = ColumnarStore([Atom("r", (a, b)), Atom("r", (a, c)), wrong])
+        probe = store.matching_bound("r", {1: a})
+        first = next(probe)
+        # Remove the still-pending matching row: (b, c) swaps into its
+        # slot, where the old lazy reader picked it up.
+        pending = ({Atom("r", (a, b)), Atom("r", (a, c))} - {first}).pop()
+        store.discard(pending)
+        rest = list(probe)
+        assert wrong not in rest
+        assert set([first] + rest) == {Atom("r", (a, b)), Atom("r", (a, c))}
+
+    def test_partial_probe_drain_populates_cache(self):
+        """Counter semantics, pinned: every probe is exactly one hit or
+        one miss, and even an undrained probe fills the cache — the
+        existence-check access pattern (probe one witness, abandon,
+        repeat) must not re-scan and re-count a miss forever."""
+        store = ColumnarStore(
+            [Atom("r", (a, Constant(f"y{i}"))) for i in range(8)]
+        )
+        probe = store.matching_bound("r", {1: a})
+        next(probe)
+        probe.close()  # abandoned after one witness
+        assert store.stats["cache_misses"] == 1
+        assert store.stats["cache_hits"] == 0
+        assert store.stats["cache_entries"] == 1
+        for _ in range(3):  # repeated existence checks: all cache hits
+            again = store.matching_bound("r", {1: a})
+            next(again)
+            again.close()
+        assert store.stats["cache_misses"] == 1
+        assert store.stats["cache_hits"] == 3
+        # A full drain of the cached probe returns the complete result.
+        assert len(list(store.matching_bound("r", {1: a}))) == 8
+        assert store.stats["cache_misses"] == 1
+
+    def test_probe_cache_disabled_never_caches(self):
+        store = ColumnarStore(
+            [Atom("r", (a, b)), Atom("r", (a, c))], probe_cache_size=0
+        )
+        assert len(list(store.matching_bound("r", {1: a}))) == 2
+        assert len(list(store.matching_bound("r", {1: a}))) == 2
+        assert store.stats["cache_entries"] == 0
+        assert store.stats["cache_misses"] == 2
+        assert store.stats["cache_hits"] == 0
+
     def test_columnar_probe_cache_invalidated_by_discard(self):
         store = ColumnarStore(self.ATOMS)
         first = set(store.matching(Atom("r", (a, X))))

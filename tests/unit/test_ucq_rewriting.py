@@ -6,6 +6,7 @@ from repro.core.terms import Constant
 from repro.lang.parser import parse_program, parse_query
 from repro.reasoning import certain_answers
 from repro.rewriting import unfold
+from repro.storage import BACKENDS, ColumnarStore
 
 a, b, c = Constant("a"), Constant("b"), Constant("c")
 
@@ -117,6 +118,49 @@ class TestRecursive:
         assert rewriting.evaluate(database) <= certain_answers(
             query, database, program
         )
+
+
+class TestEvaluateStores:
+    """Regression: ``UCQRewriting.evaluate`` used to rebuild
+    ``database.to_instance()`` on every call and ignore the store
+    backend entirely; it now reuses any FactStore in place and honours
+    an explicit backend choice, with identical answers everywhere."""
+
+    def setup_case(self):
+        program, database = parse_program("""
+            visit(a,b). visit(b,c). special(b). special(c).
+            hop(X,Y)  :- visit(X,Y).
+            mark(X)   :- hop(X,Y), special(Y).
+        """)
+        query = parse_query("q(X) :- mark(X).")
+        return unfold(query, program), database
+
+    def test_equivalent_across_backends(self):
+        rewriting, database = self.setup_case()
+        reference = rewriting.evaluate(database)
+        assert reference == {(a,), (b,)}
+        for backend in BACKENDS:
+            assert rewriting.evaluate(database, store=backend) == reference
+
+    def test_reuses_fact_store_without_copy(self):
+        rewriting, database = self.setup_case()
+        store = ColumnarStore(database)
+        before = store.stats["cache_misses"] + store.stats["cache_hits"]
+        assert rewriting.evaluate(store) == rewriting.evaluate(database)
+        # The probes ran against the store we passed — no hidden
+        # Instance rebuild (the old behaviour never touched it).
+        after = store.stats["cache_misses"] + store.stats["cache_hits"]
+        assert after > before
+
+    def test_repeated_evaluation_does_not_copy(self):
+        rewriting, database = self.setup_case()
+        first = rewriting.evaluate(database)
+        assert rewriting.evaluate(database) == first
+
+    def test_unknown_backend_rejected(self):
+        rewriting, database = self.setup_case()
+        with pytest.raises(ValueError, match="unknown storage backend"):
+            rewriting.evaluate(database, store="bogus")
 
 
 class TestValidation:
