@@ -23,6 +23,7 @@ until the caller pulls.
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
 from typing import Dict, Iterable, Optional, Tuple, Union
 
@@ -51,11 +52,65 @@ from .planner import Planner, QueryPlan, validate_store
 from .program import CompiledProgram, compile_program
 from .stream import AnswerStream
 
-__all__ = ["Session"]
+__all__ = ["Session", "fixpoint_cacheable", "fixpoint_cache_key"]
 
 QueryLike = Union[str, ConjunctiveQuery]
 ProgramLike = Union[None, str, Program, CompiledProgram]
 ChangeLike = Union[ChangeSet, Iterable[Atom]]
+
+
+#: engine kwargs whose values are plain data — a plan whose kwargs
+#: stay inside this set has cacheable, key-comparable semantics.
+CACHEABLE_KWARGS = frozenset(
+    {
+        "variant",
+        "max_atoms",
+        "max_steps",
+        "max_events",
+        "max_rounds",
+        "strict",
+        "probe_depth",
+        "probe_atoms",
+    }
+)
+
+
+def fixpoint_cacheable(plan: QueryPlan) -> bool:
+    """Whether *plan*'s saturated materialization may be cached/reused.
+
+    Live collaborators (termination policies, guides, custom null
+    factories, oracles) can suppress or alter derivations without
+    marking the run unsaturated — such runs must never be served to,
+    or taken from, a shared fixpoint cache.  Used by both the session's
+    cache and the server's per-snapshot-version caches.
+    """
+    return all(key in CACHEABLE_KWARGS for key in plan.engine_kwargs)
+
+
+def fixpoint_cache_key(plan: QueryPlan) -> tuple:
+    """The cache identity of *plan*'s saturated materialization.
+
+    No EDB version in the key: entries carry their own watermark and
+    are moved forward by the maintainer instead of being orphaned per
+    version.  Magic plans additionally key on the rewriting identity
+    (binding pattern + seed constants): their materialization is
+    demand-specific and must never be served to another query, or to
+    the unrewritten plan.
+    """
+    relevant = tuple(
+        sorted((k, repr(v)) for k, v in plan.engine_kwargs.items())
+    )
+    token = (
+        plan.rewriting.cache_token if plan.rewriting is not None else None
+    )
+    return (
+        id(plan.program),
+        plan.method,
+        plan.store_name,
+        relevant,
+        plan.rewrite,
+        token,
+    )
 
 
 class _FixpointEntry:
@@ -97,6 +152,11 @@ class Session:
             )
         self.store = store
         self.planner = planner if planner is not None else Planner()
+        #: Guards the EDB, the mutation log, and every cross-query
+        #: cache: a session may be shared across threads (the serving
+        #: layer plans queries and applies change batches concurrently).
+        #: Reentrant because ``load`` → ``add_facts`` → ``apply`` nest.
+        self._lock = threading.RLock()
         self.edb = Database()
         self._edb_version = 0
         self.mutations = MutationLog()
@@ -179,30 +239,31 @@ class Session:
         extra = ChangeSet.of(inserts, retracts)
         if extra:
             changes = ChangeSet(changes.ops + extra.ops)
-        net_inserts, net_retracts = changes.net()
-        # Effective deltas relative to the current EDB: re-asserting a
-        # present fact and retracting an absent one are both no-ops.
-        inserted = tuple(f for f in net_inserts if f not in self.edb)
-        retracted = tuple(f for f in net_retracts if f in self.edb)
-        if not inserted and not retracted:
-            return MaintenanceReport(
-                version=self._edb_version, inserted=(), retracted=()
+        with self._lock:
+            net_inserts, net_retracts = changes.net()
+            # Effective deltas relative to the current EDB: re-asserting
+            # a present fact and retracting an absent one are no-ops.
+            inserted = tuple(f for f in net_inserts if f not in self.edb)
+            retracted = tuple(f for f in net_retracts if f in self.edb)
+            if not inserted and not retracted:
+                return MaintenanceReport(
+                    version=self._edb_version, inserted=(), retracted=()
+                )
+            self.edb.discard_all(retracted)
+            self.edb.add_all(inserted)
+            self._edb_version += 1
+            self.mutations.record(self._edb_version, inserted, retracted)
+            # Star abstractions depend on the whole EDB and are cheap
+            # next to saturation: recompute on demand, don't maintain.
+            self._abstractions.clear()
+            report = MaintenanceReport(
+                version=self._edb_version,
+                inserted=inserted,
+                retracted=retracted,
             )
-        self.edb.discard_all(retracted)
-        self.edb.add_all(inserted)
-        self._edb_version += 1
-        self.mutations.record(self._edb_version, inserted, retracted)
-        # Star abstractions depend on the whole EDB and are cheap next
-        # to saturation: recompute on demand rather than maintain.
-        self._abstractions.clear()
-        report = MaintenanceReport(
-            version=self._edb_version,
-            inserted=inserted,
-            retracted=retracted,
-        )
-        for key in list(self._fixpoints):
-            self._upgrade_entry(key, report)
-        return report
+            for key in list(self._fixpoints):
+                self._upgrade_entry(key, report)
+            return report
 
     def _upgrade_entry(self, key: tuple, report: MaintenanceReport) -> None:
         """Bring one cached fixpoint to the current watermark, or drop it.
@@ -276,23 +337,24 @@ class Session:
         self, program: Program, *, source: Optional[str] = None
     ) -> CompiledProgram:
         """Compile *program* once; later calls return the cached artifact."""
-        if isinstance(program, CompiledProgram):
-            # Retain a strong reference: the abstraction/fixpoint caches
-            # key by id(compiled), which must not be reused by a new
-            # object while this session holds entries for it.
-            self._compiled.setdefault(program.program, program)
-            if self._compiled[program.program] is not program:
-                self._external.append(program)
-            self._last = program
-            return program
-        if not isinstance(program, Program):
-            program = Program(program)  # bare TGD iterables
-        compiled = self._compiled.get(program)
-        if compiled is None:
-            compiled = compile_program(program, source=source)
-            self._compiled[program] = compiled
-        self._last = compiled
-        return compiled
+        with self._lock:
+            if isinstance(program, CompiledProgram):
+                # Retain a strong reference: the abstraction/fixpoint
+                # caches key by id(compiled), which must not be reused
+                # by a new object while this session holds entries.
+                self._compiled.setdefault(program.program, program)
+                if self._compiled[program.program] is not program:
+                    self._external.append(program)
+                self._last = program
+                return program
+            if not isinstance(program, Program):
+                program = Program(program)  # bare TGD iterables
+            compiled = self._compiled.get(program)
+            if compiled is None:
+                compiled = compile_program(program, source=source)
+                self._compiled[program] = compiled
+            self._last = compiled
+            return compiled
 
     @property
     def programs(self) -> Tuple[CompiledProgram, ...]:
@@ -353,14 +415,16 @@ class Session:
         """The cached adorned program for this binding pattern,
         instantiated with the query's actual constants."""
         key = (id(compiled), binding_pattern(query))
-        adorned = self._adorned.get(key)
-        if adorned is None:
-            adorned = adorn_program(compiled.program, query)
-            self._adorned[key] = adorned
-            for stale in list(self._adorned)[: -self._ADORNED_CACHE_LIMIT]:
-                del self._adorned[stale]
-        else:
-            self._adorned[key] = self._adorned.pop(key)  # LRU refresh
+        with self._lock:
+            adorned = self._adorned.get(key)
+            if adorned is None:
+                adorned = adorn_program(compiled.program, query)
+                self._adorned[key] = adorned
+                stale_keys = list(self._adorned)[: -self._ADORNED_CACHE_LIMIT]
+                for stale in stale_keys:
+                    del self._adorned[stale]
+            else:
+                self._adorned[key] = self._adorned.pop(key)  # LRU refresh
         return adorned.instantiate(query)
 
     def explain(self, query: QueryLike, **plan_kwargs) -> str:
@@ -407,64 +471,25 @@ class Session:
         """
         from ..reasoning.abstraction import star_abstraction
 
-        key = (id(compiled), self._edb_version)
-        abstraction = self._abstractions.get(key)
-        if abstraction is None:
-            abstraction = star_abstraction(
-                self.edb, compiled.analysis.normalized
-            )
-            self._abstractions[key] = abstraction
-        return abstraction
+        with self._lock:
+            key = (id(compiled), self._edb_version)
+            abstraction = self._abstractions.get(key)
+            if abstraction is None:
+                abstraction = star_abstraction(
+                    self.edb, compiled.analysis.normalized
+                )
+                self._abstractions[key] = abstraction
+            return abstraction
 
-    #: engine kwargs whose values are plain data — a plan whose kwargs
-    #: stay inside this set has cacheable, key-comparable semantics.
-    _CACHEABLE_KWARGS = frozenset(
-        {
-            "variant",
-            "max_atoms",
-            "max_steps",
-            "max_events",
-            "max_rounds",
-            "strict",
-            "probe_depth",
-            "probe_atoms",
-        }
-    )
+    #: Backwards-compatible aliases of the module-level helpers (shared
+    #: with the server's per-version caches).
+    _CACHEABLE_KWARGS = CACHEABLE_KWARGS
 
     def _fixpoint_cacheable(self, plan: QueryPlan) -> bool:
-        """Live collaborators (termination policies, guides, custom null
-        factories, oracles) can suppress or alter derivations without
-        marking the run unsaturated — such runs must never be served to,
-        or taken from, the shared fixpoint cache."""
-        return all(
-            key in self._CACHEABLE_KWARGS for key in plan.engine_kwargs
-        )
+        return fixpoint_cacheable(plan)
 
     def _fixpoint_key(self, plan: QueryPlan) -> tuple:
-        # No EDB version in the key: entries carry their own watermark
-        # and are moved forward by the maintainer instead of being
-        # orphaned per version.  Magic plans additionally key on the
-        # rewriting identity (binding pattern + seed constants): their
-        # materialization is demand-specific and must never be served
-        # to another query, or to the unrewritten plan.
-        relevant = tuple(
-            sorted(
-                (k, repr(v)) for k, v in plan.engine_kwargs.items()
-            )
-        )
-        token = (
-            plan.rewriting.cache_token
-            if plan.rewriting is not None
-            else None
-        )
-        return (
-            id(plan.program),
-            plan.method,
-            plan.store_name,
-            relevant,
-            plan.rewrite,
-            token,
-        )
+        return fixpoint_cache_key(plan)
 
     #: Cap on *demand-specific* (magic) fixpoint entries: their cache
     #: key includes the query's seed constants, so a read-heavy session
@@ -484,27 +509,28 @@ class Session:
         """
         if not self._fixpoint_cacheable(plan):
             return None
-        key = self._fixpoint_key(plan)
-        entry = self._fixpoints.get(key)
-        if entry is None:
-            return None
-        if entry.rewrite == "magic":
-            # LRU refresh: magic entries are evicted oldest-first when
-            # the demand cache exceeds its cap.
-            self._fixpoints[key] = self._fixpoints.pop(key)
-        if entry.version != self._edb_version:
-            report = MaintenanceReport(
-                version=self._edb_version, inserted=(), retracted=()
-            )
-            self._upgrade_entry(self._fixpoint_key(plan), report)
-            # Keep the decision discoverable — especially a fallback's
-            # reason — rather than silently recomputing.
-            self.catchup_reports.append(report)
-            del self.catchup_reports[:-32]
-            entry = self._fixpoints.get(self._fixpoint_key(plan))
+        with self._lock:
+            key = self._fixpoint_key(plan)
+            entry = self._fixpoints.get(key)
             if entry is None:
                 return None
-        return entry.store
+            if entry.rewrite == "magic":
+                # LRU refresh: magic entries are evicted oldest-first
+                # when the demand cache exceeds its cap.
+                self._fixpoints[key] = self._fixpoints.pop(key)
+            if entry.version != self._edb_version:
+                report = MaintenanceReport(
+                    version=self._edb_version, inserted=(), retracted=()
+                )
+                self._upgrade_entry(self._fixpoint_key(plan), report)
+                # Keep the decision discoverable — especially a
+                # fallback's reason — rather than silently recomputing.
+                self.catchup_reports.append(report)
+                del self.catchup_reports[:-32]
+                entry = self._fixpoints.get(self._fixpoint_key(plan))
+                if entry is None:
+                    return None
+            return entry.store
 
     def set_fixpoint(self, plan: QueryPlan, instance: FactStore) -> None:
         """Register a saturated materialization for reuse."""
@@ -515,15 +541,16 @@ class Session:
             f"{plan.method}×{plan.store_name}{tag} fixpoint "
             f"[{plan.program.name}]"
         )
-        self._fixpoints[self._fixpoint_key(plan)] = _FixpointEntry(
-            instance, self._edb_version, plan.program, label,
-            rewrite=plan.rewrite,
-        )
-        if plan.rewrite == "magic":
-            magic_keys = [
-                key
-                for key, entry in self._fixpoints.items()
-                if entry.rewrite == "magic"
-            ]
-            for key in magic_keys[: -self._MAGIC_FIXPOINT_LIMIT]:
-                del self._fixpoints[key]
+        with self._lock:
+            self._fixpoints[self._fixpoint_key(plan)] = _FixpointEntry(
+                instance, self._edb_version, plan.program, label,
+                rewrite=plan.rewrite,
+            )
+            if plan.rewrite == "magic":
+                magic_keys = [
+                    key
+                    for key, entry in self._fixpoints.items()
+                    if entry.rewrite == "magic"
+                ]
+                for key in magic_keys[: -self._MAGIC_FIXPOINT_LIMIT]:
+                    del self._fixpoints[key]

@@ -10,7 +10,8 @@ materialized; consumed tuples are cached, so repeated iteration,
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import asdict, dataclass
 from typing import Callable, Iterable, Iterator, List, Optional, Tuple
 
 from ..core.terms import Constant
@@ -35,7 +36,13 @@ class StreamStats:
     without re-running the engine.  ``rewrite`` is the plan's resolved
     demand dimension (``"magic"`` or ``"none"``) and ``derived`` the
     facts the datalog engine staged beyond the seeded database — the
-    pair the demand benchmark compares across plans.
+    pair the demand benchmark compares across plans.  ``wall_ms`` is
+    the cumulative wall-clock time spent driving the engine (pull time
+    only — construction and idle time between pulls are excluded), and
+    ``snapshot_version`` the EDB version the query was admitted under
+    (filled by the serving layer; None for plain library streams) —
+    together they let client-observed latency and server-side stats
+    reconcile per response.
     """
 
     method: str = ""
@@ -47,6 +54,12 @@ class StreamStats:
     rewrite: str = "none"
     saturated: Optional[bool] = None
     from_cache: bool = False
+    wall_ms: float = 0.0
+    snapshot_version: Optional[int] = None
+
+    def as_dict(self) -> dict:
+        """A JSON-ready rendering (used by the server protocol)."""
+        return asdict(self)
 
 
 class AnswerStream:
@@ -73,6 +86,9 @@ class AnswerStream:
         self._cache: List[AnswerTuple] = []
         self._exhausted = False
         self._error: Optional[BaseException] = None
+        self._release_hooks: List[Callable[[], None]] = []
+        self._released = False
+        self._closed = False
         self.stats = stats if stats is not None else StreamStats(
             method=getattr(plan, "method", "")
         )
@@ -114,23 +130,74 @@ class AnswerStream:
     # -- pulling -----------------------------------------------------------
 
     def _pull(self) -> bool:
-        """Advance the engine by one tuple; False when drained."""
+        """Advance the engine by one tuple; False when drained.
+
+        Each pull's wall-clock time accrues to ``stats.wall_ms``, so a
+        drained stream's total equals the engine time the caller
+        actually paid (idle time between pulls is not charged).
+        """
         if self._error is not None:
             raise self._error
-        if self._exhausted:
+        if self._exhausted or self._closed:
             return False
-        if self._iterator is None:
-            self._iterator = iter(self._factory())
+        started = time.perf_counter()
         try:
-            item = next(self._iterator)
-        except StopIteration:
-            self._exhausted = True
-            return False
-        except BaseException as error:
-            self._error = error
-            raise
+            if self._iterator is None:
+                self._iterator = iter(self._factory())
+            try:
+                item = next(self._iterator)
+            except StopIteration:
+                self._exhausted = True
+                self._run_release_hooks()
+                return False
+            except BaseException as error:
+                self._error = error
+                self._run_release_hooks()
+                raise
+        finally:
+            self.stats.wall_ms += (time.perf_counter() - started) * 1000.0
         self._cache.append(item)
         return True
+
+    # -- resource management -----------------------------------------------
+
+    def on_release(self, hook: Callable[[], None]) -> None:
+        """Register a cleanup hook, run exactly once when the stream is
+        done with its underlying resources — on engine exhaustion, on an
+        engine error, or on an explicit :meth:`close`.
+
+        The serving layer uses this to release the snapshot lease a
+        query was admitted under: the version's refcount drops when the
+        last reader drains, letting the snapshot manager collect it.
+        Hooks registered after release run immediately.
+        """
+        if self._released:
+            hook()
+            return
+        self._release_hooks.append(hook)
+
+    def _run_release_hooks(self) -> None:
+        if self._released:
+            return
+        self._released = True
+        hooks, self._release_hooks = self._release_hooks, []
+        for hook in hooks:
+            hook()
+
+    def close(self) -> None:
+        """Stop the engine without draining it.
+
+        The cached prefix stays replayable (iteration over consumed
+        tuples still works); further pulls are refused, and the release
+        hooks run.  Closing an exhausted or unstarted stream is a no-op
+        beyond releasing.
+        """
+        if not self._exhausted and self._error is None:
+            iterator = self._iterator
+            if iterator is not None and hasattr(iterator, "close"):
+                iterator.close()
+            self._closed = True
+        self._run_release_hooks()
 
     def __iter__(self) -> Iterator[AnswerTuple]:
         index = 0

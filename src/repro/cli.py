@@ -25,7 +25,17 @@ The everyday workflow of the library, now built on the
   cross-check answers across cells, and write one consolidated
   ``BENCH_suite.json`` (``--scale``, ``--suite``, ``--engine``,
   ``--store``, ``--out``);
-* ``rewrite FILE --query ...`` — the Theorem 6.3 / Lemma 6.4 rewriting.
+* ``rewrite FILE --query ...`` — the Theorem 6.3 / Lemma 6.4 rewriting;
+* ``serve FILE`` — run the concurrent reasoning daemon
+  (:mod:`repro.server`): many clients over newline-delimited JSON,
+  every query snapshot-isolated against live ``update`` batches;
+  SIGTERM/SIGINT drain gracefully;
+* ``client query|update|stats|ping|shutdown`` — talk to a running
+  server with :class:`repro.server.ReasoningClient`.
+
+Exit codes: 0 success, 2 engine/usage errors (printed as
+``repro: error: ...``, no traceback), 3 truncation/disagreement, 130
+on interrupt.
 
 Every subcommand accepts ``--store`` naming a fact-storage backend
 (see :data:`repro.storage.BACKENDS`); an unknown name fails fast with
@@ -295,6 +305,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="canonical-CQ budget before truncating (default 20000)",
     )
 
+    serve = commands.add_parser(
+        "serve",
+        parents=[store_options],
+        help="run the concurrent reasoning server on a program "
+             "(newline-delimited JSON over TCP; see repro.server)",
+    )
+    serve.add_argument("file", type=Path, help="program + facts file")
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=7777,
+        help="TCP port; 0 binds an ephemeral port (default 7777)",
+    )
+    serve.add_argument(
+        "--port-file", type=Path, default=None, metavar="PATH",
+        help="write the bound port here once listening (for --port 0 "
+             "callers that need to discover the address)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="grace period for open connections on shutdown (default 5)",
+    )
+    serve.add_argument(
+        "--flatten-depth", type=_positive_int, default=8, metavar="N",
+        help="collapse the snapshot overlay chain every N versions "
+             "(default 8)",
+    )
+
+    client = commands.add_parser(
+        "client",
+        help="talk to a running reasoning server",
+    )
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, default=7777)
+    client_ops = client.add_subparsers(dest="client_command", required=True)
+
+    client_query = client_ops.add_parser(
+        "query", help="answer one or more queries against the server"
+    )
+    client_query.add_argument(
+        "query", nargs="+", help='CQ text, e.g. "q(X,Y) :- t(X,Y)."'
+    )
+    client_query.add_argument(
+        "--method", default="auto", choices=("auto",) + ENGINES
+    )
+    client_query.add_argument("--rewrite", default="auto", choices=REWRITES)
+    client_query.add_argument(
+        "--first", type=_positive_int, default=None, metavar="N",
+        help="stop each answer stream after N tuples",
+    )
+
+    client_update = client_ops.add_parser(
+        "update", help="apply an EDB change batch on the server"
+    )
+    client_update.add_argument(
+        "--changes", default="-", metavar="PATH",
+        help="delta file of '+atom.' / '-atom.' lines; '-' reads stdin "
+             "(default)",
+    )
+
+    client_ops.add_parser(
+        "stats", help="print the server's /stats payload as JSON"
+    )
+    client_ops.add_parser("ping", help="liveness check; prints the version")
+    client_ops.add_parser("shutdown", help="ask the server to stop")
+
     return parser
 
 
@@ -414,7 +491,13 @@ def _cmd_query(args, out, stdin) -> int:
     while True:
         if interactive:
             print("?- ", file=out, end="", flush=True)
-        line = stdin.readline()
+        try:
+            line = stdin.readline()
+        except KeyboardInterrupt:
+            # ^C at the prompt ends the session like EOF — cleanly,
+            # with exit 0, not a traceback (nor the batch-mode 130).
+            print("", file=out)
+            break
         if not line:
             break
         line = line.strip()
@@ -426,6 +509,9 @@ def _cmd_query(args, out, stdin) -> int:
             print(f"?- {line}", file=out)
         try:
             _answer_one(session, line, args, out)
+        except KeyboardInterrupt:
+            # ^C mid-query abandons that stream, keeps the REPL alive.
+            print("interrupted", file=out)
         except Exception as error:  # keep the loop alive on bad queries
             print(f"error: {error}", file=out)
     return 0
@@ -587,6 +673,131 @@ def _cmd_bench(args, out) -> int:
     return 0 if not report.disagreements and not report.error_cells else 3
 
 
+def _cmd_serve(args, out) -> int:
+    """Run the reasoning daemon until SIGTERM/SIGINT, then drain."""
+    import signal
+
+    from .server import ReasoningServer, ReasoningService
+
+    try:
+        service = ReasoningService(
+            Path(args.file),
+            store=args.store,
+            flatten_depth=args.flatten_depth,
+        )
+    except OSError as error:
+        raise SystemExit(f"repro: cannot read {args.file}: {error}")
+    server = ReasoningServer(
+        service,
+        host=args.host,
+        port=args.port,
+        drain_timeout=args.drain_timeout,
+    )
+    host, port = server.address
+    if args.port_file is not None:
+        args.port_file.write_text(f"{port}\n")
+    print(
+        f"repro: serving {service.program_name} "
+        f"({len(service.session.edb)} fact(s), store={args.store}) "
+        f"on {host}:{port}",
+        file=out,
+        flush=True,
+    )
+
+    def request_stop(signum, frame):
+        # shutdown() would deadlock from a signal handler running on
+        # the serve_forever thread; hand it to a helper thread.
+        server.shutdown_async()
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, request_stop)
+        except ValueError:
+            pass  # not the main thread (in-process tests drive stop())
+    try:
+        server.serve_forever()
+        drained = server.drain()
+    finally:
+        server.server_close()
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    print(
+        "repro: server stopped"
+        + ("" if drained else " (drain timed out; connections cut)"),
+        file=out,
+    )
+    return 0
+
+
+def _cmd_client(args, out, stdin) -> int:
+    """One client operation against a running server."""
+    import json
+
+    from .server import ReasoningClient
+
+    try:
+        client = ReasoningClient(args.host, args.port)
+    except OSError as error:
+        print(
+            f"repro: error: cannot connect to {args.host}:{args.port}: "
+            f"{error}",
+            file=sys.stderr,
+        )
+        return 2
+    with client:
+        command = args.client_command
+        if command == "ping":
+            print(f"ok (version {client.ping()})", file=out)
+        elif command == "query":
+            for index, query_text in enumerate(args.query):
+                if index:
+                    print("", file=out)
+                print(f"?- {query_text.strip()}", file=out)
+                result = client.query(
+                    query_text,
+                    method=args.method,
+                    rewrite=args.rewrite,
+                    first=args.first,
+                )
+                for row in result.answers:
+                    print("(" + ", ".join(row) + ")", file=out)
+                print(
+                    f"-- {len(result)} answer(s) @ version "
+                    f"{result.version}, {result.wall_ms:.2f}ms engine"
+                    + (" (truncated)" if result.truncated else ""),
+                    file=out,
+                )
+        elif command == "update":
+            if args.changes == "-":
+                stdin = stdin if stdin is not None else sys.stdin
+                text = stdin.read()
+            else:
+                try:
+                    text = Path(args.changes).read_text()
+                except OSError as error:
+                    raise SystemExit(
+                        f"repro: cannot read {args.changes}: {error}"
+                    )
+            payload = client.update(text)
+            print(
+                f"version {payload['version']}: +{payload['added']} "
+                f"-{payload['dropped']} fact(s), "
+                f"{payload['migrated']} cache(s) migrated, "
+                f"{len(payload['fallbacks'])} fallback(s)",
+                file=out,
+            )
+            for label, reason in payload["fallbacks"]:
+                print(f"  fallback: {label}: {reason}", file=out)
+        elif command == "stats":
+            print(json.dumps(client.stats(), indent=2, default=str), file=out)
+        else:  # shutdown
+            stopping = client.shutdown()
+            print("server stopping" if stopping else "server did not stop",
+                  file=out)
+    return 0
+
+
 def _cmd_stats(args, out) -> int:
     from .benchsuite import classify_corpus, default_corpus
 
@@ -604,15 +815,13 @@ def _cmd_stats(args, out) -> int:
     return 0
 
 
-def main(
-    argv: Optional[Sequence[str]] = None, out=None, stdin=None
-) -> int:
-    out = out if out is not None else sys.stdout
-    args = build_parser().parse_args(argv)
+def _dispatch(args, out, stdin) -> int:
     if args.command == "query":
         return _cmd_query(args, out, stdin)
     if args.command == "update":
         return _cmd_update(args, out, stdin)
+    if args.command == "client":
+        return _cmd_client(args, out, stdin)
     handlers = {
         "classify": _cmd_classify,
         "answer": _cmd_answer,
@@ -620,8 +829,32 @@ def main(
         "stats": _cmd_stats,
         "bench": _cmd_bench,
         "rewrite": _cmd_rewrite,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args, out)
+
+
+def main(
+    argv: Optional[Sequence[str]] = None, out=None, stdin=None
+) -> int:
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args, out, stdin)
+    except KeyboardInterrupt:
+        # ^C mid-command: the conventional 128 + SIGINT, no traceback.
+        print("repro: interrupted", file=sys.stderr)
+        return 130
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: exit quietly (the
+        # conventional 128 + SIGPIPE), don't traceback into stderr.
+        return 141
+    except Exception as error:
+        # Engine/parse/server errors are diagnostics, not crashes: one
+        # line on stderr, exit 2.  (SystemExit — argparse errors and
+        # the "cannot read" paths — propagates untouched.)
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -50,6 +50,7 @@ class Instance(FactStore):
         """Insert *atom*; return True iff it was not already present."""
         if not atom.is_ground():
             raise ValueError(f"instances contain ground atoms only, got {atom}")
+        self._check_mutable()
         if atom in self._atoms:
             return False
         self._atoms.add(atom)
@@ -69,6 +70,7 @@ class Instance(FactStore):
         buckets are dropped so ``predicates()`` and the position probes
         never see ghost keys.
         """
+        self._check_mutable()
         if atom not in self._atoms:
             return False
         self._atoms.discard(atom)

@@ -1,0 +1,138 @@
+"""The wire protocol: newline-delimited JSON request/response frames.
+
+One request per line, one response per line, UTF-8.  Kept deliberately
+minimal — five operations, every response self-describing — so a client
+in any language is a socket, a JSON codec, and a line reader:
+
+``{"op": "query", "query": "q(X) :- path(a, X)."}``
+    → ``{"ok": true, "answers": [["b"], ...], "version": 3, ...}``
+``{"op": "update", "changes": "+edge(d, e).\\n-edge(a, b)."}``
+    → ``{"ok": true, "version": 4, "added": 1, "dropped": 1, ...}``
+``{"op": "stats"}`` / ``{"op": "ping"}`` / ``{"op": "shutdown"}``
+
+Every request may carry an ``"id"``; the response echoes it, so a
+pipelining client can match responses to requests.  Failures are
+responses, not disconnects: ``{"ok": false, "error": <message>,
+"kind": <exception class>}`` — the connection survives a bad query.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from .service import ReasoningService
+
+__all__ = [
+    "OPS",
+    "ProtocolError",
+    "decode_request",
+    "encode_response",
+    "error_response",
+    "handle_request",
+]
+
+OPS = ("query", "update", "stats", "ping", "shutdown")
+
+#: Engine kwargs a query request may carry, mirroring the CLI's knobs.
+QUERY_OPTIONS = (
+    "method",
+    "rewrite",
+    "first",
+    "variant",
+    "max_atoms",
+    "max_steps",
+    "max_events",
+    "max_rounds",
+    "strict",
+    "probe_depth",
+    "probe_atoms",
+)
+
+
+class ProtocolError(ValueError):
+    """A malformed frame: not JSON, not an object, or not a known op."""
+
+
+def decode_request(line: str) -> dict:
+    """Parse one request frame, validating shape and operation."""
+    try:
+        request = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"not valid JSON: {error}") from None
+    if not isinstance(request, dict):
+        raise ProtocolError("request must be a JSON object")
+    op = request.get("op")
+    if op not in OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; expected one of {', '.join(OPS)}"
+        )
+    return request
+
+
+def encode_response(response: dict) -> str:
+    """Render one response frame (compact, single line)."""
+    return json.dumps(response, separators=(",", ":"), default=str)
+
+
+def error_response(error: BaseException, request_id=None) -> dict:
+    response = {
+        "ok": False,
+        "error": str(error),
+        "kind": type(error).__name__,
+    }
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def handle_request(
+    service: ReasoningService, request: dict
+) -> Optional[dict]:
+    """Execute one decoded request against *service*.
+
+    Returns the response dict, or ``None`` for ``shutdown`` (the caller
+    owns the lifecycle; it acknowledges and stops the server).  Engine
+    errors become error responses here; only protocol-level failures
+    (undecodable frames) are the caller's problem.
+    """
+    op = request["op"]
+    request_id = request.get("id")
+
+    def done(payload: dict) -> dict:
+        response = {"ok": True, "op": op, **payload}
+        if request_id is not None:
+            response["id"] = request_id
+        return response
+
+    if op == "ping":
+        return done({"version": service.current_version})
+    if op == "stats":
+        return done({"stats": service.stats()})
+    if op == "shutdown":
+        return None
+    try:
+        if op == "query":
+            text = request.get("query")
+            if not isinstance(text, str) or not text.strip():
+                raise ProtocolError("query op needs a non-empty 'query'")
+            options = {
+                key: request[key]
+                for key in QUERY_OPTIONS
+                if request.get(key) is not None
+            }
+            result = service.query(text, **options)
+            return done(result.as_payload())
+        # op == "update"
+        changes = request.get("changes")
+        if isinstance(changes, list):
+            changes = "\n".join(changes)
+        if not isinstance(changes, str) or not changes.strip():
+            raise ProtocolError(
+                "update op needs 'changes' (a +atom/-atom text block "
+                "or list of lines)"
+            )
+        result = service.apply(changes)
+        return done(result.as_payload())
+    except Exception as error:  # noqa: BLE001 — every engine/parse error
+        return error_response(error, request_id)

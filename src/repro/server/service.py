@@ -1,0 +1,500 @@
+"""The embeddable serving core: one shared session, many concurrent
+readers, snapshot-isolated updates.
+
+:class:`ReasoningService` is the engine-facing half of the server — the
+socket daemon (:mod:`repro.server.daemon`) is a thin protocol adapter
+over it, and tests/benchmarks drive it in-process with plain threads.
+
+Design:
+
+* one :class:`~repro.api.Session` owns program compilation and
+  planning (compile-once, adorned-program cache, plan explanations) —
+  made thread-safe in this PR;
+* a :class:`~repro.server.snapshot.SnapshotManager` owns the EDB as a
+  chain of immutable versions; every query is *admitted* under a lease
+  on the then-current version and evaluates against that frozen store
+  no matter how many updates land while it runs;
+* each version carries its own :class:`VersionCaches` — saturated
+  materializations and star abstractions valid for exactly that EDB —
+  because a shared in-place cache (the session's own) would be upgraded
+  under a running reader's feet.  On ``apply``, maintainable fixpoints
+  are *migrated* to the new version: copy, then run the PR-4
+  :class:`~repro.incremental.FixpointMaintainer` over just the change
+  batch, so the new version starts warm without recomputing and the old
+  version's copy stays exact for its in-flight readers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import weakref
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..api.execution import execute_plan
+from ..api.planner import QueryPlan
+from ..api.session import Session, fixpoint_cache_key, fixpoint_cacheable
+from ..api.stream import AnswerStream
+from ..incremental import ChangeSet, FixpointMaintainer
+from ..storage import FactStore
+from .snapshot import SnapshotLease, SnapshotManager, SnapshotVersion
+
+__all__ = ["QueryResult", "ReasoningService", "UpdateResult", "VersionCaches"]
+
+
+class _CacheEntry:
+    """One per-version saturated materialization plus what migration
+    needs to carry it across versions."""
+
+    __slots__ = ("store", "compiled", "maintainable", "rewrite", "label")
+
+    def __init__(self, store, compiled, maintainable, rewrite, label):
+        self.store = store
+        self.compiled = compiled
+        self.maintainable = maintainable
+        self.rewrite = rewrite
+        self.label = label
+
+
+class VersionCaches:
+    """Cross-query caches scoped to one immutable snapshot version.
+
+    Duck-typed as the ``session=`` collaborator of
+    :func:`repro.api.execution.execute_plan`: it answers
+    ``get_fixpoint`` / ``set_fixpoint`` / ``abstraction_for``, but keyed
+    to one EDB version instead of a mutable session — the load-bearing
+    difference for snapshot isolation.
+    """
+
+    #: Cap on demand-specific (magic) entries per version, mirroring
+    #: the session's bound.
+    MAGIC_LIMIT = 32
+
+    def __init__(self, version: SnapshotVersion):
+        self._version = version
+        self._lock = threading.Lock()
+        self._fixpoints: Dict[tuple, _CacheEntry] = {}
+        self._abstractions: Dict[int, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get_fixpoint(self, plan: QueryPlan) -> Optional[FactStore]:
+        if not fixpoint_cacheable(plan):
+            return None
+        with self._lock:
+            entry = self._fixpoints.get(fixpoint_cache_key(plan))
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return entry.store
+
+    def set_fixpoint(self, plan: QueryPlan, instance: FactStore) -> None:
+        if not fixpoint_cacheable(plan):
+            return
+        tag = "×magic" if plan.rewrite == "magic" else ""
+        label = (
+            f"{plan.method}×{plan.store_name}{tag} fixpoint "
+            f"[{plan.program.name}] @v{self._version.number}"
+        )
+        entry = _CacheEntry(
+            instance, plan.program, plan.maintainable, plan.rewrite, label
+        )
+        with self._lock:
+            self._fixpoints[fixpoint_cache_key(plan)] = entry
+            if plan.rewrite == "magic":
+                magic_keys = [
+                    key
+                    for key, cached in self._fixpoints.items()
+                    if cached.rewrite == "magic"
+                ]
+                for key in magic_keys[: -self.MAGIC_LIMIT]:
+                    del self._fixpoints[key]
+
+    def abstraction_for(self, compiled):
+        """The star abstraction of (this version's EDB, Σ) — computed at
+        most once per (version, program), shared by concurrent readers."""
+        from ..reasoning.abstraction import star_abstraction
+
+        key = id(compiled)
+        with self._lock:
+            abstraction = self._abstractions.get(key)
+        if abstraction is not None:
+            return abstraction
+        computed = star_abstraction(
+            self._version.store, compiled.analysis.normalized
+        )
+        with self._lock:
+            # First publisher wins; a racing duplicate is equal anyway.
+            return self._abstractions.setdefault(key, computed)
+
+    def entries(self) -> List[Tuple[tuple, _CacheEntry]]:
+        with self._lock:
+            return list(self._fixpoints.items())
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "fixpoints": len(self._fixpoints),
+                "abstractions": len(self._abstractions),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+
+#: Guards lazy creation of a version's cache object (two queries
+#: admitted on a fresh version race to attach it).
+_caches_guard = threading.Lock()
+
+
+def _caches_for(version: SnapshotVersion) -> VersionCaches:
+    caches = version.caches
+    if caches is None:
+        with _caches_guard:
+            if version.caches is None:
+                version.caches = VersionCaches(version)
+            caches = version.caches
+    return caches
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One answered query: the full answer set plus reconciliation data."""
+
+    query: str
+    answers: Tuple[Tuple[str, ...], ...]
+    version: int
+    wall_ms: float
+    stats: dict = field(compare=False)
+    truncated: bool = False
+
+    def as_payload(self) -> dict:
+        return {
+            "query": self.query,
+            "answers": [list(row) for row in self.answers],
+            "count": len(self.answers),
+            "version": self.version,
+            "wall_ms": self.wall_ms,
+            "truncated": self.truncated,
+            "stats": self.stats,
+        }
+
+
+@dataclass(frozen=True)
+class UpdateResult:
+    """One applied change batch, as the protocol reports it."""
+
+    version: int
+    added: int
+    dropped: int
+    maintained: int
+    migrated: int
+    fallbacks: Tuple[Tuple[str, str], ...]
+    wall_ms: float
+    effective: bool
+
+    def as_payload(self) -> dict:
+        return {
+            "version": self.version,
+            "added": self.added,
+            "dropped": self.dropped,
+            "maintained": self.maintained,
+            "migrated": self.migrated,
+            "fallbacks": [list(pair) for pair in self.fallbacks],
+            "wall_ms": self.wall_ms,
+            "effective": self.effective,
+        }
+
+
+class ReasoningService:
+    """A long-lived, thread-safe reasoning core over one program.
+
+    Queries may run from any number of threads; updates are serialized
+    by a writer lock and never block in-flight readers (they read their
+    admitted version).  ``store`` names the backend used both for the
+    EDB snapshots and the engines' materializations.
+    """
+
+    def __init__(
+        self,
+        source: Union[str, Path, object],
+        *,
+        store: str = "instance",
+        flatten_depth: int = 8,
+        name: str = "",
+        facts=(),
+    ):
+        self._session = Session(store=store)
+        if isinstance(source, (str, Path)):
+            # Program text or a file of it; its facts seed the EDB.
+            self._compiled = self._session.load(source, name=name)
+        else:
+            # An in-memory Program/CompiledProgram (the embeddable
+            # path — benchmarks hand over generated scenarios).
+            self._compiled = self._session.compile(source)
+        if facts:
+            self._session.add_facts(facts)
+        self._snapshots = SnapshotManager(
+            self._session.edb, store=store, flatten_depth=flatten_depth
+        )
+        self._write_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self.started_at = time.time()
+        self.queries_total = 0
+        self.updates_total = 0
+        self.errors_total = 0
+        self.active_streams = 0
+        self.peak_active_streams = 0
+        self.migrated_total = 0
+        self.migration_fallbacks_total = 0
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def session(self) -> Session:
+        return self._session
+
+    @property
+    def snapshots(self) -> SnapshotManager:
+        return self._snapshots
+
+    @property
+    def program_name(self) -> str:
+        return self._compiled.name
+
+    @property
+    def current_version(self) -> int:
+        return self._snapshots.head_version
+
+    # -- read path ---------------------------------------------------------
+
+    def stream(
+        self,
+        query: str,
+        *,
+        method: str = "auto",
+        rewrite: str = "auto",
+        **engine_kwargs,
+    ) -> AnswerStream:
+        """Admit *query* under the current snapshot and return its lazy
+        stream.
+
+        The stream evaluates against the admitted version's frozen EDB
+        for its whole life — updates applied after admission are
+        invisible (snapshot isolation).  The lease is released when the
+        stream drains, errors, or is closed; an abandoned stream's
+        lease is reclaimed by a GC finalizer.
+        """
+        lease = self._snapshots.current()
+        try:
+            plan = self._session.plan(
+                query, method=method, rewrite=rewrite, **engine_kwargs
+            )
+            stream = execute_plan(
+                plan, lease.store, session=_caches_for(lease.snapshot)
+            )
+        except BaseException:
+            lease.release()
+            with self._stats_lock:
+                self.errors_total += 1
+            raise
+        stream.stats.snapshot_version = lease.version
+        with self._stats_lock:
+            self.queries_total += 1
+            self.active_streams += 1
+            self.peak_active_streams = max(
+                self.peak_active_streams, self.active_streams
+            )
+
+        def released() -> None:
+            lease.release()
+            with self._stats_lock:
+                self.active_streams -= 1
+
+        stream.on_release(released)
+        # Backstop for abandoned streams: releasing twice is harmless
+        # (lease release is idempotent) but leaking a lease would pin
+        # the version forever.
+        weakref.finalize(stream, lease.release)
+        return stream
+
+    def query(
+        self,
+        query: str,
+        *,
+        method: str = "auto",
+        rewrite: str = "auto",
+        first: Optional[int] = None,
+        **engine_kwargs,
+    ) -> QueryResult:
+        """Answer *query* eagerly: drain the stream (or its first *n*)
+        and release the snapshot lease before returning."""
+        stream = self.stream(
+            query, method=method, rewrite=rewrite, **engine_kwargs
+        )
+        try:
+            if first is not None:
+                rows = stream.first(first)
+                truncated = not stream.exhausted
+            else:
+                rows = stream.to_sorted()
+                truncated = False
+            answers = tuple(
+                tuple(str(term) for term in row) for row in rows
+            )
+            return QueryResult(
+                query=query.strip(),
+                answers=answers,
+                version=stream.stats.snapshot_version,
+                wall_ms=stream.stats.wall_ms,
+                stats=stream.stats.as_dict(),
+                truncated=truncated,
+            )
+        except BaseException:
+            with self._stats_lock:
+                self.errors_total += 1
+            raise
+        finally:
+            stream.close()
+
+    def explain(self, query: str, **plan_kwargs) -> str:
+        return self._session.explain(query, **plan_kwargs)
+
+    # -- write path --------------------------------------------------------
+
+    def apply(
+        self, changes: Union[ChangeSet, str]
+    ) -> UpdateResult:
+        """Apply one change batch and install the next EDB version.
+
+        In-flight readers keep their admitted version; queries admitted
+        after this returns see the new one.  Maintainable fixpoints
+        cached on the previous head are migrated (copy + incremental
+        maintenance over just this batch) so the new version starts
+        warm; demand-specific (magic) and otherwise unmaintainable
+        entries are dropped with the reason recorded.
+        """
+        if isinstance(changes, str):
+            changes = ChangeSet.parse(changes)
+        started = time.perf_counter()
+        with self._write_lock:
+            previous = self._snapshots._head
+            report = self._session.apply(changes)
+            if not report.inserted and not report.retracted:
+                wall_ms = (time.perf_counter() - started) * 1000.0
+                return UpdateResult(
+                    version=self._snapshots.head_version,
+                    added=0,
+                    dropped=0,
+                    maintained=0,
+                    migrated=0,
+                    fallbacks=(),
+                    wall_ms=wall_ms,
+                    effective=False,
+                )
+            version = self._snapshots.install(
+                report.inserted, report.retracted
+            )
+            migrated, fallbacks = self._migrate_caches(
+                previous, version, report.inserted, report.retracted
+            )
+        wall_ms = (time.perf_counter() - started) * 1000.0
+        with self._stats_lock:
+            self.updates_total += 1
+            self.migrated_total += migrated
+            self.migration_fallbacks_total += len(fallbacks)
+        return UpdateResult(
+            version=version.number,
+            added=report.added,
+            dropped=report.dropped,
+            maintained=len(report.maintained),
+            migrated=migrated,
+            fallbacks=tuple(fallbacks),
+            wall_ms=wall_ms,
+            effective=True,
+        )
+
+    def _migrate_caches(
+        self,
+        previous: SnapshotVersion,
+        version: SnapshotVersion,
+        inserted: Tuple,
+        retracted: Tuple,
+    ) -> Tuple[int, List[Tuple[str, str]]]:
+        """Carry the previous head's fixpoints to the new version.
+
+        Copy-then-maintain keeps the old version's store untouched for
+        its in-flight readers while the new version inherits a warm,
+        exactly-upgraded materialization (the same DRed + counting +
+        semi-naive schedule ``Session.apply`` runs in place).
+        """
+        if previous.caches is None:
+            return 0, []
+        migrated = 0
+        fallbacks: List[Tuple[str, str]] = []
+        target = _caches_for(version)
+        for key, entry in previous.caches.entries():
+            if entry.rewrite == "magic":
+                fallbacks.append(
+                    (
+                        entry.label,
+                        "magic-rewritten fixpoint is demand-specific; "
+                        "recomputed on next demand",
+                    )
+                )
+                continue
+            if not entry.maintainable:
+                fallbacks.append(
+                    (entry.label, "plan outside the maintainable fragment")
+                )
+                continue
+            store = entry.store.copy()
+            FixpointMaintainer(entry.compiled, store).apply(
+                inserted, retracted, edb=version.store
+            )
+            with target._lock:
+                target._fixpoints[key] = _CacheEntry(
+                    store,
+                    entry.compiled,
+                    entry.maintainable,
+                    entry.rewrite,
+                    entry.label.rsplit(" @v", 1)[0]
+                    + f" @v{version.number}",
+                )
+            migrated += 1
+        return migrated, fallbacks
+
+    # -- observability -----------------------------------------------------
+
+    def stats(self) -> dict:
+        """The ``/stats`` payload: admission counters, per-version
+        refcounts, cache rates, and resident bytes."""
+        head = self._snapshots._head
+        head_caches = (
+            head.caches.stats() if head.caches is not None else None
+        )
+        memory = head.store.memory_report()
+        with self._stats_lock:
+            counters = {
+                "queries_total": self.queries_total,
+                "updates_total": self.updates_total,
+                "errors_total": self.errors_total,
+                "active_streams": self.active_streams,
+                "peak_active_streams": self.peak_active_streams,
+                "migrated_fixpoints_total": self.migrated_total,
+                "migration_fallbacks_total": self.migration_fallbacks_total,
+            }
+        return {
+            "program": self.program_name,
+            "uptime_seconds": time.time() - self.started_at,
+            **counters,
+            "snapshots": self._snapshots.stats(),
+            "head_caches": head_caches,
+            "memory": {
+                "edb_resident_bytes": memory.total_bytes,
+                "edb_atoms": memory.atom_count,
+                "backend": memory.backend,
+            },
+        }

@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, Union
 
 from ..core.atoms import Atom
-from .base import FactStore, MemoryReport
+from .base import FactStore, FrozenStoreError, MemoryReport
 from .columnar import ColumnarStore
 from .delta import DeltaOverlay
 from .interning import TermTable
@@ -29,6 +29,7 @@ from .memory import deep_sizeof, traced_peak
 
 __all__ = [
     "FactStore",
+    "FrozenStoreError",
     "MemoryReport",
     "ColumnarStore",
     "DeltaOverlay",

@@ -29,7 +29,17 @@ from typing import Dict, Iterable, Iterator, Mapping, Optional
 from ..core.atoms import Atom, schema_of
 from ..core.terms import Constant, Null, Term, Variable
 
-__all__ = ["FactStore", "MemoryReport", "pattern_agrees"]
+__all__ = ["FactStore", "FrozenStoreError", "MemoryReport", "pattern_agrees"]
+
+
+class FrozenStoreError(RuntimeError):
+    """Mutation attempted on a store frozen by :meth:`FactStore.freeze`.
+
+    Raised instead of silently corrupting a snapshot: the serving layer
+    hands frozen EDB views to concurrent readers, and any write to one
+    would break snapshot isolation for every in-flight query admitted
+    under that version.
+    """
 
 
 @dataclass(frozen=True)
@@ -104,6 +114,37 @@ class FactStore(ABC):
 
     #: Human-readable backend identifier, reported by ``memory_report``.
     backend_name: str = "abstract"
+
+    #: Class-level default so backends need no ``__init__`` cooperation;
+    #: :meth:`freeze` shadows it with an instance attribute.
+    _frozen: bool = False
+
+    # -- immutability ------------------------------------------------------
+
+    @property
+    def frozen(self) -> bool:
+        """True once :meth:`freeze` has sealed this store."""
+        return self._frozen
+
+    def freeze(self) -> "FactStore":
+        """Seal the store: every later mutation raises
+        :class:`FrozenStoreError`.
+
+        Freezing is one-way and idempotent.  The snapshot manager of
+        the serving layer freezes each EDB version before handing it to
+        concurrent readers, turning the ``DeltaOverlay`` convention
+        ("the base is frozen") into an enforced invariant.
+        """
+        self._frozen = True
+        return self
+
+    def _check_mutable(self) -> None:
+        """Guard for backend mutation paths (cheap: one attribute read)."""
+        if self._frozen:
+            raise FrozenStoreError(
+                f"{type(self).__name__} is frozen (a snapshot view); "
+                "mutations would corrupt concurrent readers"
+            )
 
     # -- mutation ----------------------------------------------------------
 

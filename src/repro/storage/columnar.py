@@ -20,6 +20,7 @@ Space characteristics compared to ``Instance``:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
@@ -117,6 +118,11 @@ class ColumnarStore(FactStore):
         self._probe_cache: OrderedDict[tuple, list] = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
+        # Guards the probe cache and the lazy index builds: reads are
+        # not pure on this backend (a cold probe builds an index and
+        # populates the LRU), so two threads probing one frozen
+        # snapshot concurrently would otherwise race those structures.
+        self._probe_lock = threading.Lock()
         self.add_all(atoms)
 
     # -- encoding ----------------------------------------------------------
@@ -142,6 +148,7 @@ class ColumnarStore(FactStore):
     def add(self, atom: Atom) -> bool:
         if not atom.is_ground():
             raise ValueError(f"stores contain ground atoms only, got {atom}")
+        self._check_mutable()
         by_arity = self._relations.setdefault(atom.predicate, {})
         relation = by_arity.get(atom.arity)
         if relation is None:
@@ -154,6 +161,7 @@ class ColumnarStore(FactStore):
     def discard(self, atom: Atom) -> bool:
         if not isinstance(atom, Atom):
             return False
+        self._check_mutable()
         relation = self._relations.get(atom.predicate, {}).get(atom.arity)
         if relation is None:
             return False
@@ -258,6 +266,16 @@ class ColumnarStore(FactStore):
         Counter semantics (pinned by ``test_storage``): each ``_probe``
         call is exactly one ``cache_hits`` or one ``cache_misses``,
         partial drains included.
+
+        Thread safety: the lookup/compute/publish section runs under
+        ``_probe_lock`` — cold probes *write* (they build the lazy
+        index and insert into the LRU), and two unsynchronized readers
+        on the same cold (predicate, position) used to race the index
+        dict and the OrderedDict reordering.  The lock is released
+        before the first yield, so decoding and consumption proceed
+        concurrently; the post-drain memoization writes an immutable
+        tuple into a list slot, which is atomic and idempotent (racing
+        drains decode the same frozen rows).
         """
         key = (
             relation.predicate,
@@ -265,38 +283,39 @@ class ColumnarStore(FactStore):
             relation.version,
             tuple(sorted(encoded.items())),
         )
-        entry = self._probe_cache.get(key)
-        if entry is not None:
-            self.cache_hits += 1
-            self._probe_cache.move_to_end(key)
-        else:
-            self.cache_misses += 1
-            # Probe through the position with the smallest bucket among
-            # the already-built indexes; build one for the first bound
-            # position when none exists yet.
-            built = [p for p in encoded if p in relation.indexes]
-            probe_position = (
-                min(built, key=lambda p: len(relation.indexes[p].get(encoded[p], ())))
-                if built
-                else min(encoded)
-            )
-            bucket = relation.index_for(probe_position).get(
-                encoded[probe_position], ()
-            )
-            entry = [
-                tuple(
-                    row
-                    for row in (
-                        relation.rows[number] for number in tuple(bucket)
-                    )
-                    if all(row[p] == tid for p, tid in encoded.items())
-                ),
-                None,
-            ]
-            if self._probe_cache_size > 0:
-                self._probe_cache[key] = entry
-                while len(self._probe_cache) > self._probe_cache_size:
-                    self._probe_cache.popitem(last=False)
+        with self._probe_lock:
+            entry = self._probe_cache.get(key)
+            if entry is not None:
+                self.cache_hits += 1
+                self._probe_cache.move_to_end(key)
+            else:
+                self.cache_misses += 1
+                # Probe through the position with the smallest bucket
+                # among the already-built indexes; build one for the
+                # first bound position when none exists yet.
+                built = [p for p in encoded if p in relation.indexes]
+                probe_position = (
+                    min(built, key=lambda p: len(relation.indexes[p].get(encoded[p], ())))
+                    if built
+                    else min(encoded)
+                )
+                bucket = relation.index_for(probe_position).get(
+                    encoded[probe_position], ()
+                )
+                entry = [
+                    tuple(
+                        row
+                        for row in (
+                            relation.rows[number] for number in tuple(bucket)
+                        )
+                        if all(row[p] == tid for p, tid in encoded.items())
+                    ),
+                    None,
+                ]
+                if self._probe_cache_size > 0:
+                    self._probe_cache[key] = entry
+                    while len(self._probe_cache) > self._probe_cache_size:
+                        self._probe_cache.popitem(last=False)
         rows, decoded = entry
         if decoded is not None:
             yield from decoded

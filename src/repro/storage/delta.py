@@ -75,6 +75,7 @@ class DeltaOverlay(FactStore):
     # -- mutation ----------------------------------------------------------
 
     def add(self, atom: Atom) -> bool:
+        self._check_mutable()
         if atom in self._tombstones:
             # Re-asserting a retracted base atom resurrects it: drop
             # the tombstone and the base copy shows through again.
@@ -117,6 +118,7 @@ class DeltaOverlay(FactStore):
         """
         if not isinstance(atom, Atom):
             return False
+        self._check_mutable()
         removed = self._delta.discard(atom)
         # A delta-side removal changes the delta length, which stales
         # the overlap key and forces a recount on the next read.
@@ -143,6 +145,7 @@ class DeltaOverlay(FactStore):
     def promote(self) -> int:
         """Merge the delta into the base (and apply any tombstones);
         return how many atoms moved."""
+        self._check_mutable()
         if self._tombstones:
             self._base.discard_all(self._tombstones)
             self._tombstones.clear()
@@ -243,6 +246,14 @@ class DeltaOverlay(FactStore):
         yield from self._unshadowed(self._delta.matching(pattern))
 
     # -- lifecycle ---------------------------------------------------------
+
+    def freeze(self) -> "DeltaOverlay":
+        """Seal the overlay *and both layers* — the base was frozen by
+        convention all along; a frozen overlay enforces it."""
+        self._base.freeze()
+        self._delta.freeze()
+        super().freeze()
+        return self
 
     def fresh(self) -> "DeltaOverlay":
         return DeltaOverlay(self._base.fresh())

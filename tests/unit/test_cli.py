@@ -382,3 +382,159 @@ class TestUpdate:
     def test_missing_changes_file(self, program_file):
         with pytest.raises(SystemExit, match="cannot read"):
             run(["update", str(program_file), "--changes", "missing.delta"])
+
+
+class TestExitCodes:
+    """Engine errors are diagnostics (exit 2, one line on stderr), not
+    tracebacks; interrupts exit 130."""
+
+    def test_engine_error_exits_2(self, program_file, capsys):
+        code, output = run(
+            ["answer", str(program_file), "--query", "q(X) :- broken(("]
+        )
+        assert code == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_keyboard_interrupt_exits_130(self, monkeypatch, program_file,
+                                          capsys):
+        import repro.cli as cli
+
+        def interrupt(args, out):
+            raise KeyboardInterrupt
+
+        monkeypatch.setitem(
+            cli.__dict__, "_cmd_answer", interrupt
+        )
+        code, _ = run(
+            ["answer", str(program_file), "--query", "q(X,Y) :- t(X,Y)."]
+        )
+        assert code == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_repl_interrupt_ends_session_cleanly(self, program_file):
+        class InterruptingStdin:
+            def __init__(self):
+                self.calls = 0
+
+            def isatty(self):
+                return False
+
+            def readline(self):
+                self.calls += 1
+                if self.calls == 1:
+                    return "q(X,Y) :- t(X,Y).\n"
+                raise KeyboardInterrupt
+
+        out = io.StringIO()
+        code = main(
+            ["query", str(program_file)], out=out,
+            stdin=InterruptingStdin(),
+        )
+        assert code == 0
+        assert "3 certain answer(s)" in out.getvalue()
+
+
+class TestServeAndClient:
+    SERVER_PROGRAM = TC_PROGRAM
+
+    @pytest.fixture
+    def running_server(self, program_file):
+        from repro.server import ReasoningServer, ReasoningService
+
+        service = ReasoningService(program_file, store="columnar")
+        server = ReasoningServer(service, port=0)
+        server.serve_in_thread()
+        yield server.address
+        server.close()
+
+    def test_client_query(self, running_server):
+        host, port = running_server
+        code, output = run(
+            ["client", "--host", host, "--port", str(port),
+             "query", "q(X,Y) :- t(X,Y)."]
+        )
+        assert code == 0
+        assert "(a, c)" in output
+        assert "3 answer(s) @ version 0" in output
+
+    def test_client_update_then_query(self, running_server, tmp_path):
+        host, port = running_server
+        delta = tmp_path / "batch.delta"
+        delta.write_text("+e(c,d).\n")
+        code, output = run(
+            ["client", "--host", host, "--port", str(port),
+             "update", "--changes", str(delta)]
+        )
+        assert code == 0
+        assert "version 1: +1 -0" in output
+        code, output = run(
+            ["client", "--host", host, "--port", str(port),
+             "query", "q(X) :- t(a, X)."]
+        )
+        assert code == 0
+        assert "(d)" in output
+
+    def test_client_stats_and_ping(self, running_server):
+        host, port = running_server
+        code, output = run(
+            ["client", "--host", host, "--port", str(port), "ping"]
+        )
+        assert code == 0 and "ok (version 0)" in output
+        code, output = run(
+            ["client", "--host", host, "--port", str(port), "stats"]
+        )
+        assert code == 0
+        assert '"queries_total"' in output
+
+    def test_client_engine_error_exits_2(self, running_server, capsys):
+        host, port = running_server
+        code, _ = run(
+            ["client", "--host", running_server[0],
+             "--port", str(running_server[1]), "query", "q(X) :- broken(("]
+        )
+        assert code == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_client_connection_refused_exits_2(self, capsys):
+        import socket
+
+        # An ephemeral port bound then closed is very likely free.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        code, _ = run(
+            ["client", "--port", str(port), "ping"]
+        )
+        assert code == 2
+        assert "cannot connect" in capsys.readouterr().err
+
+    def test_serve_shutdown_via_client(self, program_file, tmp_path):
+        import threading
+
+        port_file = tmp_path / "port.txt"
+        out = io.StringIO()
+        result = {}
+
+        def serve():
+            result["code"] = main(
+                ["serve", str(program_file), "--port", "0",
+                 "--port-file", str(port_file)],
+                out=out,
+            )
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        import time
+        deadline = time.monotonic() + 10
+        while not port_file.exists() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        port = int(port_file.read_text().strip())
+        code, output = run(
+            ["client", "--port", str(port), "shutdown"]
+        )
+        assert code == 0 and "server stopping" in output
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert result["code"] == 0
+        assert "server stopped" in out.getvalue()

@@ -1,0 +1,414 @@
+"""Unit tests for the concurrent reasoning server (repro.server).
+
+Covers the MVCC snapshot layer (versions, leases, GC, flattening,
+frozen-store enforcement), the embeddable service (snapshot-isolated
+queries, cache migration across updates), the NDJSON protocol, and the
+daemon + client over a real socket.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core.atoms import Atom
+from repro.core.terms import Constant
+from repro.lang.parser import parse_atom
+from repro.server import (
+    ReasoningClient,
+    ReasoningServer,
+    ReasoningService,
+    ServerError,
+    SnapshotManager,
+)
+from repro.server.protocol import (
+    ProtocolError,
+    decode_request,
+    encode_response,
+    handle_request,
+)
+from repro.storage import BACKENDS, ColumnarStore, FrozenStoreError
+
+PROGRAM = """
+edge(a, b). edge(b, c). edge(c, d).
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+"""
+
+FULL_QUERY = "q(X, Y) :- path(X, Y)."
+BOUND_QUERY = "q(X) :- path(a, X)."
+
+
+def atom(text: str) -> Atom:
+    return parse_atom(text)
+
+
+def edge(x: str, y: str) -> Atom:
+    return Atom("edge", (Constant(x), Constant(y)))
+
+
+class TestFrozenStores:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_freeze_refuses_mutation(self, backend):
+        from repro.storage import make_store
+
+        store = make_store(backend, [edge("a", "b")])
+        assert not store.frozen
+        store.freeze()
+        assert store.frozen
+        with pytest.raises(FrozenStoreError):
+            store.add(edge("b", "c"))
+        with pytest.raises(FrozenStoreError):
+            store.discard(edge("a", "b"))
+        # Reads still fine, and copies are mutable again.
+        assert edge("a", "b") in store
+        clone = store.copy()
+        assert not clone.frozen
+        clone.add(edge("b", "c"))
+        assert len(clone) == 2 and len(store) == 1
+
+
+class TestSnapshotManager:
+    def test_install_and_isolation(self):
+        manager = SnapshotManager([edge("a", "b")], store="columnar")
+        lease0 = manager.current()
+        version = manager.install((edge("b", "c"),), ())
+        assert version.number == 1
+        assert manager.head_version == 1
+        # The old lease still reads the old contents.
+        assert edge("b", "c") not in lease0.store
+        with manager.current() as lease1:
+            assert edge("b", "c") in lease1.store
+        lease0.release()
+
+    def test_retraction_visible_in_new_version_only(self):
+        manager = SnapshotManager([edge("a", "b"), edge("b", "c")])
+        old = manager.current()
+        manager.install((), (edge("a", "b"),))
+        assert edge("a", "b") in old.store
+        new = manager.current()
+        assert edge("a", "b") not in new.store
+        assert len(new.store) == 1
+        old.release(), new.release()
+
+    def test_refcount_and_gc(self):
+        manager = SnapshotManager([edge("a", "b")])
+        lease = manager.current()
+        manager.install((edge("b", "c"),), ())
+        # v0 still referenced -> alive.
+        assert manager.live_versions == (0, 1)
+        lease.release()
+        assert manager.live_versions == (1,)
+        assert manager.collected == 1
+        # Idempotent release does not double-decrement.
+        lease.release()
+        assert manager.refcounts() == {1: 0}
+
+    def test_unreferenced_version_collected_on_install(self):
+        manager = SnapshotManager()
+        for index in range(3):
+            manager.install((edge("a", str(index)),), ())
+        assert manager.live_versions == (3,)
+        assert manager.collected == 3
+
+    def test_flattening_bounds_depth(self):
+        manager = SnapshotManager(
+            [edge("a", "b")], store="columnar", flatten_depth=3
+        )
+        atoms = []
+        for index in range(10):
+            extra = edge("n", str(index))
+            atoms.append(extra)
+            manager.install((extra,), ())
+        stats = manager.stats()
+        assert stats["head_depth"] < 3
+        assert stats["flattened"] >= 3
+        head = manager.current()
+        assert len(head.store) == 11
+        for extra in atoms:
+            assert extra in head.store
+        head.release()
+
+    def test_every_version_frozen(self):
+        manager = SnapshotManager([edge("a", "b")])
+        manager.install((edge("b", "c"),), ())
+        lease = manager.current()
+        with pytest.raises(FrozenStoreError):
+            lease.store.add(edge("x", "y"))
+        lease.release()
+
+    def test_flatten_depth_validated(self):
+        with pytest.raises(ValueError):
+            SnapshotManager(flatten_depth=0)
+
+
+class TestReasoningService:
+    def test_query_answers_and_version(self):
+        service = ReasoningService(PROGRAM)
+        result = service.query(BOUND_QUERY)
+        assert result.answers == (("b",), ("c",), ("d",))
+        assert result.version == 0
+        assert result.stats["snapshot_version"] == 0
+        assert result.wall_ms >= 0.0
+
+    def test_second_query_hits_version_cache(self):
+        service = ReasoningService(PROGRAM)
+        first = service.query(FULL_QUERY)
+        second = service.query(FULL_QUERY)
+        assert not first.stats["from_cache"]
+        assert second.stats["from_cache"]
+        assert first.answers == second.answers
+
+    def test_update_bumps_version_and_answers(self):
+        service = ReasoningService(PROGRAM)
+        before = service.query(BOUND_QUERY)
+        update = service.apply("+edge(d, e).")
+        assert update.effective and update.version == 1
+        after = service.query(BOUND_QUERY)
+        assert before.version == 0 and after.version == 1
+        assert ("e",) in after.answers and ("e",) not in before.answers
+
+    def test_noop_update_installs_nothing(self):
+        service = ReasoningService(PROGRAM)
+        update = service.apply("+edge(a, b).")  # already present
+        assert not update.effective
+        assert service.current_version == 0
+
+    def test_in_flight_stream_keeps_its_snapshot(self):
+        service = ReasoningService(PROGRAM)
+        stream = service.stream(FULL_QUERY)
+        stream.first(1)  # engine started on v0
+        service.apply("+edge(d, e).")
+        rows = {tuple(str(t) for t in row) for row in stream}
+        # path over the *original* edges only: no pair involving e.
+        assert ("d", "e") not in rows
+        assert stream.stats.snapshot_version == 0
+        # A fresh query sees the new version.
+        assert ("d", "e") in {
+            tuple(row) for row in service.query(FULL_QUERY).answers
+        }
+
+    def test_stream_release_frees_old_version(self):
+        service = ReasoningService(PROGRAM)
+        stream = service.stream(FULL_QUERY)
+        stream.first(1)
+        service.apply("+edge(d, e).")
+        assert 0 in service.snapshots.live_versions
+        stream.to_set()  # drain -> lease released -> v0 collectable
+        assert 0 not in service.snapshots.live_versions
+
+    def test_closed_stream_releases_lease(self):
+        service = ReasoningService(PROGRAM)
+        stream = service.stream(FULL_QUERY)
+        stream.first(1)
+        stream.close()
+        assert service.snapshots.refcounts()[0] == 0
+        assert service.active_streams == 0
+
+    def test_maintainable_fixpoint_migrates_across_update(self):
+        service = ReasoningService(PROGRAM)
+        warm = service.query(FULL_QUERY)  # populates v0's cache
+        update = service.apply("+edge(d, e).")
+        assert update.migrated == 1 and not update.fallbacks
+        after = service.query(FULL_QUERY)
+        # Served from the migrated materialization: no engine rerun.
+        assert after.stats["from_cache"]
+        assert ("a", "e") in {tuple(r) for r in after.answers}
+        assert warm.answers != after.answers
+
+    def test_magic_fixpoint_falls_back_on_update(self):
+        service = ReasoningService(PROGRAM)
+        service.query(BOUND_QUERY, rewrite="magic")
+        update = service.apply("+edge(d, e).")
+        assert update.migrated == 0
+        assert any("demand-specific" in reason for _, reason in update.fallbacks)
+        # Correct after recompute.
+        after = service.query(BOUND_QUERY, rewrite="magic")
+        assert ("e",) in after.answers
+
+    def test_query_error_counted_and_lease_released(self):
+        service = ReasoningService(PROGRAM)
+        with pytest.raises(Exception):
+            service.query("q(X) :- path(a X")  # parse error
+        assert service.errors_total == 1
+        assert service.snapshots.refcounts() == {0: 0}
+
+    def test_stats_shape(self):
+        service = ReasoningService(PROGRAM, store="columnar")
+        service.query(FULL_QUERY)
+        service.apply("+edge(d, e).")
+        stats = service.stats()
+        assert stats["queries_total"] == 1
+        assert stats["updates_total"] == 1
+        assert stats["snapshots"]["head_version"] == 1
+        assert stats["memory"]["edb_atoms"] == 4
+        assert stats["memory"]["edb_resident_bytes"] > 0
+        json.dumps(stats)  # must be wire-serializable
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_all_backends_serve(self, backend):
+        service = ReasoningService(PROGRAM, store=backend)
+        assert service.query(BOUND_QUERY).answers == (
+            ("b",), ("c",), ("d",),
+        )
+        service.apply("+edge(d, e).")
+        assert ("e",) in service.query(BOUND_QUERY).answers
+
+
+class TestProtocol:
+    def test_decode_validates(self):
+        with pytest.raises(ProtocolError):
+            decode_request("not json")
+        with pytest.raises(ProtocolError):
+            decode_request('["a", "list"]')
+        with pytest.raises(ProtocolError):
+            decode_request('{"op": "evaporate"}')
+        assert decode_request('{"op": "ping"}') == {"op": "ping"}
+
+    def test_roundtrip_query(self):
+        service = ReasoningService(PROGRAM)
+        request = decode_request(
+            json.dumps({"op": "query", "query": BOUND_QUERY, "id": 7})
+        )
+        response = handle_request(service, request)
+        assert response["ok"] and response["id"] == 7
+        assert response["answers"] == [["b"], ["c"], ["d"]]
+        line = encode_response(response)
+        assert "\n" not in line
+        assert json.loads(line) == response
+
+    def test_engine_error_becomes_error_response(self):
+        service = ReasoningService(PROGRAM)
+        response = handle_request(
+            service, {"op": "query", "query": "q(X) :- broken(("}
+        )
+        assert response["ok"] is False
+        assert "expected" in response["error"]
+
+    def test_update_accepts_list_and_text(self):
+        service = ReasoningService(PROGRAM)
+        as_list = handle_request(
+            service, {"op": "update", "changes": ["+edge(d, e)."]}
+        )
+        assert as_list["ok"] and as_list["version"] == 1
+        as_text = handle_request(
+            service, {"op": "update", "changes": "-edge(d, e)."}
+        )
+        assert as_text["ok"] and as_text["version"] == 2
+
+    def test_shutdown_returns_none(self):
+        service = ReasoningService(PROGRAM)
+        assert handle_request(service, {"op": "shutdown"}) is None
+
+
+@pytest.fixture()
+def server():
+    service = ReasoningService(PROGRAM, store="columnar")
+    daemon = ReasoningServer(service, port=0)
+    daemon.serve_in_thread()
+    yield daemon
+    daemon.close()
+
+
+class TestDaemonAndClient:
+    def test_query_update_stats_ping(self, server):
+        host, port = server.address
+        with ReasoningClient(host, port) as client:
+            assert client.ping() == 0
+            result = client.query(BOUND_QUERY)
+            assert result.answers == (("b",), ("c",), ("d",))
+            assert result.version == 0
+            payload = client.update("+edge(d, e).")
+            assert payload["version"] == 1
+            assert client.query(BOUND_QUERY).answers == (
+                ("b",), ("c",), ("d",), ("e",),
+            )
+            stats = client.stats()
+            assert stats["queries_total"] == 2
+            assert stats["updates_total"] == 1
+
+    def test_first_n_truncates(self, server):
+        host, port = server.address
+        with ReasoningClient(host, port) as client:
+            result = client.query(FULL_QUERY, first=2)
+            assert len(result.answers) == 2
+            assert result.truncated
+
+    def test_connection_survives_errors(self, server):
+        host, port = server.address
+        with ReasoningClient(host, port) as client:
+            with pytest.raises(ServerError) as info:
+                client.query("q(X) :- broken((")
+            assert info.value.kind in ("ParserError", "ValueError", "LexerError")
+            # Undecodable frame -> error response, connection stays up.
+            client._sock.sendall(b"this is not json\n")
+            with client._lock:
+                line = client._reader.readline()
+            assert json.loads(line)["ok"] is False
+            assert client.ping() == 0
+
+    def test_concurrent_clients_one_socket_each(self, server):
+        host, port = server.address
+        errors = []
+
+        def worker():
+            try:
+                with ReasoningClient(host, port) as client:
+                    for _ in range(5):
+                        rows = client.query(FULL_QUERY).answers
+                        assert len(rows) >= 6
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+
+    def test_shutdown_frame_stops_server(self, server):
+        host, port = server.address
+        with ReasoningClient(host, port) as client:
+            assert client.shutdown() is True
+        deadline = time.monotonic() + 5
+        while not server.stopping and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert server.stopping
+
+
+class TestColumnarProbeConcurrency:
+    """Regression: the lazy index build and LRU probe cache used to be
+    unsynchronized — two threads probing the same cold (predicate,
+    position) raced on index construction and cache eviction."""
+
+    def test_concurrent_cold_probes(self):
+        atoms = [edge(str(i), str(i + 1)) for i in range(300)]
+        store = ColumnarStore(atoms, probe_cache_size=16)
+        results, errors = [], []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            try:
+                barrier.wait(timeout=10)
+                for i in range(50):
+                    rows = list(
+                        store.matching_bound(
+                            "edge",
+                            {1: Constant(str(i)), 2: Constant(str(i + 1))},
+                        )
+                    )
+                    results.append(len(rows))
+            except Exception as error:
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert results and all(count == 1 for count in results)
+        # Counter invariant: every probe recorded exactly one hit or miss.
+        assert store.cache_hits + store.cache_misses == len(results)
