@@ -39,6 +39,30 @@ _NOT_SATURATED = (
     "undecidable)"
 )
 
+#: Worker pool used when a cached fixpoint lives in a sharded store —
+#: shard scans are independent, so the cache-hit path fans them out.
+SHARD_SCAN_WORKERS = 4
+
+
+def _evaluate_fixpoint(query, cached):
+    """``q(cached)`` for a cache hit, shard-parallel when possible.
+
+    A sharded materialization may be partially spilled; the per-shard
+    tasks decode each page once in a worker instead of funneling every
+    row through one sequential scan.  Answers are identical to
+    ``query.evaluate`` either way (the shard fan-out partitions the
+    homomorphism space exactly).
+    """
+    from ..storage.sharded import ShardedStore
+
+    if isinstance(cached, ShardedStore):
+        from ..parallel.shardscan import shard_parallel_evaluate
+
+        return shard_parallel_evaluate(
+            query, cached, workers=SHARD_SCAN_WORKERS
+        )
+    return query.evaluate(cached)
+
 
 def _stream_network_answers(query, database, network, *, store, run,
                             max_atoms=None, max_events=None):
@@ -86,7 +110,9 @@ def execute_plan(
             if cached is not None:
                 stats.from_cache = True
                 stats.saturated = True
-                yield from sorted(run_query.evaluate(cached), key=str)
+                yield from sorted(
+                    _evaluate_fixpoint(run_query, cached), key=str
+                )
                 return
             facts = database
             if rewriting is not None:
@@ -118,7 +144,9 @@ def execute_plan(
             if cached is not None:
                 stats.from_cache = True
                 stats.saturated = True
-                yield from sorted(query.evaluate(cached), key=str)
+                yield from sorted(
+                    _evaluate_fixpoint(query, cached), key=str
+                )
                 return
             chase_kwargs = dict(kwargs)
             chase_kwargs.pop("probe_depth", None)
@@ -177,7 +205,9 @@ def execute_plan(
             if cached is not None:
                 stats.from_cache = True
                 stats.saturated = True
-                yield from sorted(query.evaluate(cached), key=str)
+                yield from sorted(
+                    _evaluate_fixpoint(query, cached), key=str
+                )
                 return
             net_kwargs = dict(kwargs)
             net_kwargs.pop("probe_depth", None)

@@ -191,25 +191,34 @@ def applicable_engines(analysis, engines: Sequence[str]) -> List[str]:
     return selected
 
 
-def _resident_report(session: Session, compiled, plan) -> Tuple[int, dict]:
-    """Per-component resident bytes of what the cell left materialized.
+def _resident_report(
+    session: Session, compiled, plan
+) -> Tuple[int, int, dict]:
+    """Per-component resident (and spilled) bytes the cell left behind.
 
     Materializing engines are charged their saturated fixpoint store
     (the session cached it); the proof-tree engines hold bounded CQs
     instead of an instance, so their resident state is the shared EDB
     plus the star abstraction — measured with one visited-set so terms
-    shared between the two are charged once.
+    shared between the two are charged once.  The second figure is the
+    disk-resident half (the sharded backend's evicted pages; zero for
+    fully in-memory backends).
     """
     fixpoint = session.get_fixpoint(plan)
     if fixpoint is not None:
         report = fixpoint.memory_report()
-        return report.total_bytes, dict(report.components)
+        return (
+            report.resident_bytes,
+            report.spilled_bytes,
+            dict(report.components),
+        )
     seen: set = set()
     edb_report = session.edb.memory_report(seen)
     components = {
         f"edb.{name}": size for name, size in edb_report.components.items()
     }
     total = edb_report.total_bytes
+    spilled = edb_report.spilled_bytes
     if plan.method in ("pwl", "ward"):
         abstraction = session.abstraction_for(compiled)
         abs_report = abstraction.memory_report(seen)
@@ -218,7 +227,8 @@ def _resident_report(session: Session, compiled, plan) -> Tuple[int, dict]:
             for name, size in abs_report.components.items()
         )
         total += abs_report.total_bytes
-    return total, components
+        spilled += abs_report.spilled_bytes
+    return total, spilled, components
 
 
 def run_cell(
@@ -291,7 +301,7 @@ def run_cell(
     cell.rounds = stream.stats.rounds
     cell.events = stream.stats.events
     cell.decided_tuples = stream.stats.decided_tuples
-    cell.resident_bytes, cell.memory = _resident_report(
+    cell.resident_bytes, cell.spilled_bytes, cell.memory = _resident_report(
         session, compiled, stream.plan
     )
     return cell

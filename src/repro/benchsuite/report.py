@@ -78,6 +78,7 @@ class CellResult:
     events: int = 0
     decided_tuples: int = 0
     resident_bytes: int = 0
+    spilled_bytes: int = 0
     memory: Dict[str, int] = field(default_factory=dict)
     detail: str = ""
 
@@ -102,6 +103,7 @@ class CellResult:
             "events": self.events,
             "decided_tuples": self.decided_tuples,
             "resident_bytes": self.resident_bytes,
+            "spilled_bytes": self.spilled_bytes,
             "memory": dict(self.memory),
             "detail": self.detail,
         }

@@ -94,6 +94,43 @@ def _positive_int(value: str) -> int:
     return parsed
 
 
+def _byte_size(value: str) -> int:
+    """argparse type for ``--memory-budget``: bytes, with k/m/g suffixes."""
+    text = value.strip().lower()
+    factor = 1
+    for suffix, mult in (("k", 1024), ("m", 1024**2), ("g", 1024**3)):
+        if text.endswith(suffix):
+            text, factor = text[:-1], mult
+            break
+    try:
+        parsed = int(float(text) * factor)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"not a byte size: {value!r} (use e.g. 8000000, 8m, 2g)"
+        )
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value!r}")
+    return parsed
+
+
+def _resolve_store(args):
+    """The ``store=`` choice the engines get: the backend name, or a
+    configured sharded factory when out-of-core flags are present."""
+    budget = getattr(args, "memory_budget", None)
+    spill_dir = getattr(args, "spill_dir", None)
+    if args.store != "sharded":
+        if budget is not None or spill_dir is not None:
+            raise SystemExit(
+                "repro: --memory-budget/--spill-dir require --store sharded"
+            )
+        return args.store
+    if budget is None and spill_dir is None:
+        return args.store
+    from .storage import sharded_store_factory
+
+    return sharded_store_factory(budget, spill_dir)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -114,6 +151,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="BACKEND",
         help="fact-storage backend for materializing engines "
              f"({', '.join(BACKENDS)}; default: instance)",
+    )
+    store_options.add_argument(
+        "--memory-budget",
+        type=_byte_size,
+        default=None,
+        metavar="BYTES",
+        help="resident-byte budget for --store sharded (suffixes k/m/g; "
+             "cold shards spill to disk beyond it)",
+    )
+    store_options.add_argument(
+        "--spill-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="directory for --store sharded spill files (default: a "
+             "private temporary directory)",
     )
 
     classify = commands.add_parser(
@@ -333,6 +386,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="collapse the snapshot overlay chain every N versions "
              "(default 8)",
     )
+    serve.add_argument(
+        "--state-dir", type=Path, default=None, metavar="DIR",
+        help="persist EDB + promoted fixpoints here; a restart over the "
+             "same program warm-starts from the checkpoint instead of "
+             "resaturating",
+    )
 
     client = commands.add_parser(
         "client",
@@ -376,7 +435,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _load_session(args) -> Session:
-    session = Session(store=args.store)
+    session = Session(store=_resolve_store(args))
     try:
         session.load(Path(args.file))
     except OSError as error:
@@ -521,7 +580,7 @@ def _cmd_chase(args, out) -> int:
     program, database = _load(args.file)
     result = chase(
         database, program, variant="restricted", max_atoms=args.max_atoms,
-        store=args.store,
+        store=_resolve_store(args),
     )
     for atom in sorted(result.instance, key=str):
         print(atom, file=out)
@@ -682,8 +741,9 @@ def _cmd_serve(args, out) -> int:
     try:
         service = ReasoningService(
             Path(args.file),
-            store=args.store,
+            store=_resolve_store(args),
             flatten_depth=args.flatten_depth,
+            state_dir=args.state_dir,
         )
     except OSError as error:
         raise SystemExit(f"repro: cannot read {args.file}: {error}")
@@ -696,9 +756,10 @@ def _cmd_serve(args, out) -> int:
     host, port = server.address
     if args.port_file is not None:
         args.port_file.write_text(f"{port}\n")
+    warm = ", warm-started" if service.warm_started else ""
     print(
         f"repro: serving {service.program_name} "
-        f"({len(service.session.edb)} fact(s), store={args.store}) "
+        f"({len(service.session.edb)} fact(s), store={args.store}{warm}) "
         f"on {host}:{port}",
         file=out,
         flush=True,
@@ -720,6 +781,9 @@ def _cmd_serve(args, out) -> int:
         drained = server.drain()
     finally:
         server.server_close()
+        # Final checkpoint so a graceful stop captures fixpoints cached
+        # since the last update (a pure-query workload never applies).
+        service.checkpoint()
         for signum, handler in previous.items():
             signal.signal(signum, handler)
     print(

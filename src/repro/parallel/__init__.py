@@ -21,9 +21,14 @@ Two views of that claim are made executable here:
   a thread pool, with the star-abstraction oracle computed once and
   shared read-only.  Answers are identical to the sequential facade by
   construction.
+* :mod:`shardscan <repro.parallel.shardscan>` — shard-parallel CQ
+  evaluation over the hash-partitioned sharded store: the pinned
+  atom's matches fan out one scan-and-join task per shard, an exact
+  partition of the homomorphism space.
 """
 
 from .executor import ParallelReport, parallel_certain_answers
+from .shardscan import ShardScanReport, shard_parallel_evaluate
 from .workplan import (
     SpeedupPoint,
     greedy_makespan,
@@ -34,6 +39,8 @@ from .workplan import (
 __all__ = [
     "parallel_certain_answers",
     "ParallelReport",
+    "shard_parallel_evaluate",
+    "ShardScanReport",
     "greedy_makespan",
     "speedup_curve",
     "SpeedupPoint",

@@ -70,6 +70,7 @@ def parallel_certain_answers(
     method: str = "auto",
     probe_depth: int = 3,
     probe_atoms: int = 20000,
+    store: str = "instance",
     report: bool = False,
     **engine_kwargs,
 ):
@@ -78,6 +79,13 @@ def parallel_certain_answers(
     Supports the proof-tree methods (``"pwl"``, ``"ward"``, or
     ``"auto"`` dispatching between them); other program classes have no
     per-tuple parallel structure and belong to the sequential facade.
+
+    ``store`` selects the probe's storage backend.  With
+    ``store="sharded"`` the probe materializes into a
+    :class:`~repro.storage.sharded.ShardedStore` and the probe answers
+    are computed shard-parallel on the same worker pool — the second
+    parallel axis next to per-tuple decisions (and the one that also
+    bounds probe memory, since the sharded probe spills under budget).
     """
     if workers <= 0:
         raise ValueError("workers must be positive")
@@ -97,8 +105,19 @@ def parallel_certain_answers(
     if "oracle" not in engine_kwargs and engine_kwargs.get("use_oracle", True):
         engine_kwargs["oracle"] = abstraction
 
-    probe = probe_instance(database, program, probe_depth, probe_atoms)
-    probe_answers = query.evaluate(probe)
+    probe = probe_instance(
+        database, program, probe_depth, probe_atoms, store=store
+    )
+    from ..storage.sharded import ShardedStore
+
+    if isinstance(probe, ShardedStore):
+        from .shardscan import shard_parallel_evaluate
+
+        probe_answers = shard_parallel_evaluate(
+            query, probe, workers=workers
+        )
+    else:
+        probe_answers = query.evaluate(probe)
     # Candidate pools come from the abstraction (complete); the probe
     # only pre-settles positives — same split as the sequential facade.
     candidates = sorted(candidate_tuples(query, abstraction) - probe_answers,

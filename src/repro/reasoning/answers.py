@@ -69,6 +69,7 @@ def probe_instance(
     program: Program,
     probe_depth: int = 3,
     probe_atoms: int = 20000,
+    store="instance",
 ) -> Instance:
     """A bounded chase used to seed candidates (sound under-approximation).
 
@@ -76,6 +77,9 @@ def probe_instance(
     below and :func:`repro.parallel.executor.parallel_certain_answers`
     both split the work into "probe settles the cheap positives, a
     decision engine settles the rest", and this is the probe half.
+    ``store`` selects the probe's backend — the parallel executor runs
+    it on the sharded store so the probe answers can be evaluated
+    shard-parallel.
     """
     result = chase(
         database,
@@ -83,6 +87,7 @@ def probe_instance(
         variant="restricted",
         policy=DepthPolicy(probe_depth),
         max_atoms=probe_atoms,
+        store=store,
     )
     return result.instance
 

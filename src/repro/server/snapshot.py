@@ -34,6 +34,14 @@ from ..storage import DeltaOverlay, FactStore, make_store
 __all__ = ["SnapshotLease", "SnapshotManager", "SnapshotVersion"]
 
 
+def _store_label(store) -> str:
+    """The display/cache name of a ``store=`` choice (factories carry
+    their name in ``__name__`` — e.g. ``sharded_store_factory``)."""
+    if isinstance(store, str):
+        return store
+    return getattr(store, "__name__", type(store).__name__)
+
+
 class SnapshotVersion:
     """One immutable EDB version: a frozen store plus its bookkeeping.
 
@@ -221,6 +229,18 @@ class SnapshotManager:
                 for number, version in sorted(self._versions.items())
             }
 
+    def versions_snapshot(self) -> Tuple[SnapshotVersion, ...]:
+        """The live versions, head first then ascending — the
+        measurement order that attributes shared structure (overlay
+        base chains, interning tables) to the head."""
+        with self._lock:
+            head = self._head
+            rest = sorted(
+                (v for v in self._versions.values() if v is not head),
+                key=lambda v: v.number,
+            )
+            return (head, *rest)
+
     def stats(self) -> dict:
         with self._lock:
             return {
@@ -235,7 +255,7 @@ class SnapshotManager:
                 "collected": self.collected,
                 "flattened": self.flattened,
                 "flatten_depth": self._flatten_depth,
-                "store": self._store_name,
+                "store": _store_label(self._store_name),
             }
 
     def __repr__(self) -> str:

@@ -9,7 +9,10 @@ are written against the :class:`FactStore` interface and accept a
 * ``"columnar"`` — :class:`ColumnarStore`, interned term-id tuples with
   lazy per-(predicate, position) indexes and an LRU probe cache;
 * ``"delta"`` — :class:`DeltaOverlay` over a columnar base: a small
-  writable delta above a frozen base, with ``promote()`` merging.
+  writable delta above a frozen base, with ``promote()`` merging;
+* ``"sharded"`` — :class:`ShardedStore`, relations hash-partitioned
+  into shards kept resident under a byte budget, cold shards spilled
+  to disk (out-of-core; see :mod:`repro.storage.sharded`).
 
 All backends produce identical answers (the property suite asserts
 this); they differ in space and probe cost, which
@@ -26,6 +29,12 @@ from .columnar import ColumnarStore
 from .delta import DeltaOverlay
 from .interning import TermTable
 from .memory import deep_sizeof, traced_peak
+from .sharded import (
+    ShardedStore,
+    SpillPager,
+    StateDirectory,
+    sharded_store_factory,
+)
 
 __all__ = [
     "FactStore",
@@ -33,6 +42,10 @@ __all__ = [
     "MemoryReport",
     "ColumnarStore",
     "DeltaOverlay",
+    "ShardedStore",
+    "SpillPager",
+    "StateDirectory",
+    "sharded_store_factory",
     "TermTable",
     "deep_sizeof",
     "traced_peak",
@@ -41,8 +54,10 @@ __all__ = [
     "make_store",
 ]
 
-#: Backend names accepted by ``make_store`` and every ``store=`` argument.
-BACKENDS = ("instance", "columnar", "delta")
+#: Backend names accepted by ``make_store`` and every ``store=``
+#: argument.  "sharded" is appended last: error messages render this
+#: tuple, and several tests pin the historical prefix.
+BACKENDS = ("instance", "columnar", "delta", "sharded")
 
 StoreChoice = Union[str, FactStore, Callable[[], FactStore]]
 
@@ -70,6 +85,8 @@ def make_store(store: StoreChoice = "instance", atoms: Iterable[Atom] = ()) -> F
         return ColumnarStore(atoms)
     if store == "delta":
         return DeltaOverlay(ColumnarStore(atoms))
+    if store == "sharded":
+        return ShardedStore(atoms)
     raise ValueError(
         f"unknown storage backend {store!r}; expected one of {BACKENDS}"
     )

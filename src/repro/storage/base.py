@@ -23,7 +23,7 @@ indexes, interning tables, caches) instead of anecdotal.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, Mapping, Optional
 
 from ..core.atoms import Atom, schema_of
@@ -51,16 +51,31 @@ class MemoryReport:
     with a shared visited-set, so shared objects are charged to the
     first component that reaches them and the total is not inflated by
     double counting.
+
+    ``spilled`` accounts bytes that live *on disk* rather than in the
+    process (the sharded backend's evicted pages); they never count
+    toward ``total_bytes``, which remains the resident figure every
+    space claim is made against.
     """
 
     backend: str
     atom_count: int
     term_count: int
     components: Mapping[str, int]
+    spilled: Mapping[str, int] = field(default_factory=dict)
 
     @property
     def total_bytes(self) -> int:
         return sum(self.components.values())
+
+    @property
+    def resident_bytes(self) -> int:
+        """Alias of :attr:`total_bytes`, paired with ``spilled_bytes``."""
+        return self.total_bytes
+
+    @property
+    def spilled_bytes(self) -> int:
+        return sum(self.spilled.values())
 
     def as_dict(self) -> dict:
         """A JSON-ready representation (used by the benchmarks)."""
@@ -69,16 +84,22 @@ class MemoryReport:
             "atom_count": self.atom_count,
             "term_count": self.term_count,
             "total_bytes": self.total_bytes,
+            "resident_bytes": self.resident_bytes,
+            "spilled_bytes": self.spilled_bytes,
             "components": dict(self.components),
+            "spilled": dict(self.spilled),
         }
 
     def __str__(self) -> str:
         parts = ", ".join(
             f"{name}={size}B" for name, size in self.components.items()
         )
+        spill = (
+            f", spilled {self.spilled_bytes}B" if self.spilled else ""
+        )
         return (
             f"MemoryReport({self.backend}: {self.atom_count} atoms, "
-            f"{self.term_count} terms, {self.total_bytes}B; {parts})"
+            f"{self.term_count} terms, {self.total_bytes}B{spill}; {parts})"
         )
 
 

@@ -106,8 +106,19 @@ class ColumnarStore(FactStore):
 
     backend_name = "columnar"
 
-    def __init__(self, atoms: Iterable[Atom] = (), *, probe_cache_size: int = 128):
-        self._table = TermTable()
+    def __init__(
+        self,
+        atoms: Iterable[Atom] = (),
+        *,
+        probe_cache_size: int = 128,
+        table: Optional[TermTable] = None,
+    ):
+        # ``table`` lets several stores share one interning table (a
+        # base and the overlay delta above it): ids are table-global,
+        # the shared object is charged once by ``memory_report``'s
+        # visited-set, and terms the base already interned cost the
+        # delta nothing.
+        self._table = table if table is not None else TermTable()
         # predicate → arity → relation (mixed arities are legal, as in
         # Instance, though schema_of() rejects them downstream).
         self._relations: Dict[str, Dict[int, _Relation]] = {}
@@ -332,7 +343,19 @@ class ColumnarStore(FactStore):
     # -- lifecycle ---------------------------------------------------------
 
     def fresh(self) -> "ColumnarStore":
-        return ColumnarStore(probe_cache_size=self._probe_cache_size)
+        """An empty store *sharing this store's interning table*.
+
+        ``fresh()`` is how :class:`~repro.storage.delta.DeltaOverlay`
+        builds its delta layer; sharing the table means re-deriving a
+        base term in the delta re-uses the base's id and object instead
+        of interning a second copy — the interning cost of a base/delta
+        stack is one table, counted once.  The table is append-only and
+        its intern path is thread-safe, so sharing it with a frozen
+        base is sound: existing ids never change.
+        """
+        return ColumnarStore(
+            probe_cache_size=self._probe_cache_size, table=self._table
+        )
 
     # -- accounting --------------------------------------------------------
 

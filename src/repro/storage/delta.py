@@ -284,11 +284,20 @@ class DeltaOverlay(FactStore):
             for name, size in delta_report.components.items()
         )
         components["tombstones"] = deep_sizeof(self._tombstones, seen)
+        spilled = {
+            f"base.{name}": size
+            for name, size in base_report.spilled.items()
+        }
+        spilled.update(
+            (f"delta.{name}", size)
+            for name, size in delta_report.spilled.items()
+        )
         return MemoryReport(
             backend=self.backend_name,
             atom_count=len(self),
             term_count=len(self.active_domain()),
             components=components,
+            spilled=spilled,
         )
 
     def __repr__(self) -> str:

@@ -9,10 +9,20 @@ integer equality.
 Ids are dense and stable: the *n*-th distinct term interned receives id
 ``n``, and decoding returns the exact object first interned (so, e.g.,
 a labeled null keeps the ``depth`` bookkeeping it was created with).
+
+One table may be *shared* by several stores (a columnar base and its
+overlay delta, or every shard of a sharded store): ids are global to
+the table, not to any holder, so rows written by one holder decode
+identically through another.  Sharing is what keeps the interning cost
+a one-time charge — ``memory_report()`` with a shared visited-set
+counts a shared table exactly once.  The intern path is made
+thread-safe for that reason: a frozen base's table may still grow
+through the mutable delta layered above it.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Set
 
 from ..core.terms import Term
@@ -24,19 +34,25 @@ __all__ = ["TermTable"]
 class TermTable:
     """A bidirectional term ↔ integer-id dictionary."""
 
-    __slots__ = ("_ids", "_terms")
+    __slots__ = ("_ids", "_terms", "_lock")
 
     def __init__(self) -> None:
         self._ids: Dict[Term, int] = {}
         self._terms: List[Term] = []
+        self._lock = threading.Lock()
 
     def intern(self, term: Term) -> int:
         """The id of *term*, assigning the next dense id if unseen."""
         tid = self._ids.get(term)
         if tid is None:
-            tid = len(self._terms)
-            self._ids[term] = tid
-            self._terms.append(term)
+            # Double-checked: the lock is paid only on a miss, and two
+            # racing holders of a shared table agree on the id.
+            with self._lock:
+                tid = self._ids.get(term)
+                if tid is None:
+                    tid = len(self._terms)
+                    self._terms.append(term)
+                    self._ids[term] = tid
         return tid
 
     def id_of(self, term: Term) -> Optional[int]:

@@ -538,3 +538,92 @@ class TestServeAndClient:
         assert not thread.is_alive()
         assert result["code"] == 0
         assert "server stopped" in out.getvalue()
+
+
+class TestShardedStoreFlags:
+    def test_answer_with_budget_and_spill_dir(self, program_file, tmp_path):
+        code, output = run(
+            ["answer", str(program_file),
+             "--query", "q(X,Y) :- t(X,Y).",
+             "--store", "sharded",
+             "--memory-budget", "64k",
+             "--spill-dir", str(tmp_path / "spill")]
+        )
+        assert code == 0
+        assert "3 certain answer(s)" in output
+
+    def test_chase_with_sharded_store(self, program_file):
+        code, output = run(
+            ["chase", str(program_file), "--store", "sharded"]
+        )
+        assert code == 0
+        assert "saturated" in output
+
+    def test_budget_requires_sharded(self, program_file):
+        with pytest.raises(SystemExit, match="require --store sharded"):
+            run(
+                ["answer", str(program_file),
+                 "--query", "q(X,Y) :- t(X,Y).",
+                 "--store", "columnar",
+                 "--memory-budget", "64k"]
+            )
+
+    def test_spill_dir_requires_sharded(self, program_file, tmp_path):
+        with pytest.raises(SystemExit, match="require --store sharded"):
+            run(
+                ["answer", str(program_file),
+                 "--query", "q(X,Y) :- t(X,Y).",
+                 "--spill-dir", str(tmp_path)]
+            )
+
+    def test_byte_size_suffixes(self):
+        from repro.cli import _byte_size
+
+        assert _byte_size("4096") == 4096
+        assert _byte_size("64k") == 64 * 1024
+        assert _byte_size("2M") == 2 * 1024 * 1024
+        assert _byte_size("1g") == 1024 ** 3
+        with pytest.raises(Exception):
+            _byte_size("0")
+        with pytest.raises(Exception):
+            _byte_size("12q")
+
+
+class TestClientMemoryStats:
+    @pytest.fixture
+    def sharded_server(self, program_file):
+        from repro.server import ReasoningServer, ReasoningService
+        from repro.storage import sharded_store_factory
+
+        service = ReasoningService(
+            program_file, store=sharded_store_factory(None, None)
+        )
+        server = ReasoningServer(service, port=0)
+        server.serve_in_thread()
+        yield server.address
+        server.close()
+
+    def test_stats_reports_per_version_bytes(self, sharded_server, tmp_path):
+        import json
+
+        host, port = sharded_server
+        delta = tmp_path / "batch.delta"
+        delta.write_text("+e(c,d).\n")
+        code, _ = run(
+            ["client", "--host", host, "--port", str(port),
+             "update", "--changes", str(delta)]
+        )
+        assert code == 0
+        code, output = run(
+            ["client", "--host", host, "--port", str(port), "stats"]
+        )
+        assert code == 0
+        stats = json.loads(output)
+        memory = stats["memory"]
+        assert memory["resident_bytes_total"] > 0
+        assert "spilled_bytes_total" in memory
+        versions = memory["versions"]
+        assert versions  # at least the head
+        for entry in versions.values():
+            assert set(entry) == {"atoms", "resident_bytes",
+                                  "spilled_bytes"}

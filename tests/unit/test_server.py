@@ -412,3 +412,142 @@ class TestColumnarProbeConcurrency:
         assert results and all(count == 1 for count in results)
         # Counter invariant: every probe recorded exactly one hit or miss.
         assert store.cache_hits + store.cache_misses == len(results)
+
+
+class TestServiceMemoryStats:
+    """Per-version resident/spilled byte figures in ``stats()`` (PR 7)."""
+
+    def test_per_version_figures(self):
+        service = ReasoningService(PROGRAM, store="columnar")
+        service.query(FULL_QUERY)
+        service.apply("+edge(d, e).")
+        service.query(FULL_QUERY)
+        stats = service.stats()
+        memory = stats["memory"]
+        versions = memory["versions"]
+        # Both live versions are reported, head included.
+        assert set(versions) >= {"1"}
+        head = versions[str(stats["snapshots"]["head_version"])]
+        assert head["atoms"] == 4
+        assert head["resident_bytes"] > 0
+        assert head["spilled_bytes"] == 0
+        assert memory["resident_bytes_total"] >= head["resident_bytes"]
+        assert memory["spilled_bytes_total"] == 0
+        # The head is a DeltaOverlay after the update (delta over the
+        # frozen columnar base).
+        assert memory["backend"] == "delta"
+        json.dumps(stats)
+
+    def test_shared_structure_charged_once(self):
+        """Old versions share the head's interning table and (via the
+        overlay chain) most of its rows: the total must come out far
+        below `live versions × head cost`."""
+        service = ReasoningService(PROGRAM, store="columnar")
+        lease = service.snapshots.current()  # pin version 0
+        try:
+            for i in range(5):
+                service.apply(f"+edge(x{i}, y{i}).")
+            stats = service.stats()
+            memory = stats["memory"]
+            versions = memory["versions"]
+            assert len(versions) >= 2  # head + pinned v0 at least
+            head_bytes = versions[str(stats["snapshots"]["head_version"])][
+                "resident_bytes"
+            ]
+            assert memory["resident_bytes_total"] < (
+                len(versions) * head_bytes
+            )
+        finally:
+            lease.release()
+
+    def test_sharded_backend_reports_spill(self):
+        from repro.storage import sharded_store_factory
+
+        atoms_text = " ".join(
+            f"edge(v{i}, v{i + 1})." for i in range(200)
+        )
+        service = ReasoningService(
+            atoms_text + " path(X, Y) :- edge(X, Y).",
+            store=sharded_store_factory(4096, None),
+        )
+        stats = service.stats()
+        memory = stats["memory"]
+        assert memory["backend"] == "sharded"
+        assert memory["edb_spilled_bytes"] > 0
+        assert memory["spilled_bytes_total"] >= memory["edb_spilled_bytes"]
+        json.dumps(stats)
+
+    def test_sharded_service_answers(self):
+        from repro.storage import sharded_store_factory
+
+        service = ReasoningService(
+            PROGRAM, store=sharded_store_factory(None, None)
+        )
+        assert service.query(BOUND_QUERY).answers == (
+            ("b",), ("c",), ("d",),
+        )
+        service.apply("+edge(d, e).")
+        assert ("e",) in service.query(BOUND_QUERY).answers
+
+
+class TestWarmStart:
+    """State-directory persistence: a restarted service answers its
+    first query from restored caches, without resaturating."""
+
+    def test_cold_then_warm(self, tmp_path):
+        first = ReasoningService(PROGRAM, state_dir=tmp_path)
+        assert first.warm_started is False
+        cold = first.query(FULL_QUERY)
+        assert cold.stats["from_cache"] is False
+        first.checkpoint()
+
+        second = ReasoningService(PROGRAM, state_dir=tmp_path)
+        assert second.warm_started is True
+        warm = second.query(FULL_QUERY)
+        assert warm.stats["from_cache"] is True
+        assert warm.answers == cold.answers
+        stats = second.stats()
+        assert stats["warm_started"] is True
+        assert stats["state_dir"] == str(tmp_path)
+
+    def test_apply_checkpoints_automatically(self, tmp_path):
+        first = ReasoningService(PROGRAM, state_dir=tmp_path)
+        first.query(FULL_QUERY)
+        first.apply("+edge(d, e).")  # checkpoint rides on the update
+
+        second = ReasoningService(PROGRAM, state_dir=tmp_path)
+        assert second.warm_started is True
+        warm = second.query(FULL_QUERY)
+        assert warm.stats["from_cache"] is True
+        assert ("d", "e") in warm.answers
+
+    def test_program_change_invalidates_state(self, tmp_path):
+        first = ReasoningService(PROGRAM, state_dir=tmp_path)
+        first.query(FULL_QUERY)
+        first.checkpoint()
+
+        changed = PROGRAM + "\npath(X, X) :- edge(X, Y)."
+        second = ReasoningService(changed, state_dir=tmp_path)
+        assert second.warm_started is False
+        assert second.query(FULL_QUERY).stats["from_cache"] is False
+
+    def test_store_mismatch_skips_restored_fixpoints(self, tmp_path):
+        first = ReasoningService(PROGRAM, store="columnar",
+                                 state_dir=tmp_path)
+        first.query(FULL_QUERY)
+        first.checkpoint()
+
+        second = ReasoningService(PROGRAM, store="instance",
+                                  state_dir=tmp_path)
+        # EDB still restores (warm), but the columnar fixpoint does not
+        # masquerade as an instance-backed one.
+        assert second.warm_started is True
+        result = second.query(FULL_QUERY)
+        assert result.stats["from_cache"] is False
+        assert result.answers == first.query(FULL_QUERY).answers
+
+    def test_no_state_dir_never_warm(self):
+        service = ReasoningService(PROGRAM)
+        assert service.warm_started is False
+        assert service.stats()["state_dir"] is None
+        service.checkpoint()  # no-op without a directory
