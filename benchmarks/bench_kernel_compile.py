@@ -1,0 +1,244 @@
+"""Compiled columnar batch kernels vs the per-tuple interpreter.
+
+The headline claims of ``repro.kernels``, measured end-to-end through
+the session layer:
+
+* **Speedup** — the E2-style transitive-closure saturation runs at
+  least ``SPEEDUP_FLOOR``× faster under ``exec_mode="kernel"`` than
+  under ``exec_mode="interpret"`` on the same columnar store (the
+  design target is ≥10× at scale; the asserted floor is conservative
+  so CI noise cannot flake the job).
+* **Exactness** — kernel cells answer digest-equal to the interpreter
+  on every surface that dispatches them: plain saturation (columnar
+  and sharded), a magic-rewritten bound query, a post-``Session.apply``
+  re-query (the IVM path), and a suite-matrix subset across stores.
+* **Observability** — kernel cells report ``exec_mode="kernel"`` and a
+  positive ``kernel_batches`` through ``StreamStats`` and the
+  benchsuite ``CellResult``.
+
+Raw rows land in ``benchmarks/results/BENCH_kernels.json`` — written
+*before* the assertions, so a failing run still uploads its evidence.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.api import Session
+from repro.benchsuite.harness import run_matrix
+from repro.benchsuite.report import answer_digest, check_agreement
+
+from conftest import write_json_result
+
+#: E2-style workload: a cycle (long recursion chains) plus random
+#: chords — the closure is dense and the fixpoint needs many rounds.
+VERTICES = 192
+CHORDS = 48
+SEED = 2019
+
+#: Asserted wall-clock floor for kernel vs interpreter on the columnar
+#: store (the design target is 10×).
+SPEEDUP_FLOOR = 3.0
+
+RULES = """
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- edge(X, Y), path(Y, Z).
+"""
+QUERY = "q(X, Y) :- path(X, Y)."
+BOUND_QUERY = "q(Y) :- path(v0, Y)."
+
+
+def _program_text() -> str:
+    rng = random.Random(SEED)
+    edges = {(f"v{i}", f"v{(i + 1) % VERTICES}") for i in range(VERTICES)}
+    while len(edges) < VERTICES + CHORDS:
+        edges.add(
+            (f"v{rng.randrange(VERTICES)}", f"v{rng.randrange(VERTICES)}")
+        )
+    facts = "\n".join(f"edge({x}, {y})." for x, y in sorted(edges))
+    return facts + "\n" + RULES
+
+
+def _saturate(program_text: str, store: str, exec_mode: str,
+              query: str = QUERY, rewrite: str = "auto"):
+    """One cold session, one drained stream: (cell dict, answers)."""
+    session = Session(store=store)
+    session.load(program_text)
+    start = time.perf_counter()
+    stream = session.query(query, exec_mode=exec_mode, rewrite=rewrite)
+    answers = stream.to_set()
+    seconds = time.perf_counter() - start
+    cell = {
+        "store": store,
+        "exec_mode_requested": exec_mode,
+        "exec_mode": stream.stats.exec_mode,
+        "rewrite": stream.stats.rewrite,
+        "kernel_batches": stream.stats.kernel_batches,
+        "rounds": stream.stats.rounds,
+        "derived": stream.stats.derived,
+        "seconds": seconds,
+        "answers": len(answers),
+        "digest": answer_digest(answers),
+    }
+    return cell, answers
+
+
+def _post_apply_digest(program_text: str, store: str, exec_mode: str):
+    """Query → apply a change batch → re-query; the IVM-path digest."""
+    from repro.lang.parser import parse_program
+
+    session = Session(store=store)
+    session.load(program_text)
+    session.query(QUERY, exec_mode=exec_mode).to_set()
+    # Two fresh edges that lengthen existing chains through a new
+    # vertex — the warmed fixpoint is upgraded, not recomputed.
+    _, delta = parse_program(
+        f"edge(w0, v0). edge(v{VERTICES // 2}, w0)."
+    )
+    report = session.apply(inserts=delta)
+    stream = session.query(QUERY, exec_mode=exec_mode)
+    answers = stream.to_set()
+    return {
+        "store": store,
+        "exec_mode_requested": exec_mode,
+        "maintained": len(report.maintained),
+        "answers": len(answers),
+        "digest": answer_digest(answers),
+    }
+
+
+def test_kernel_compile_speedup_and_parity(report):
+    program_text = _program_text()
+
+    # -- the tentpole measurement: TC saturation, kernel vs interpret --
+    col_kernel, _ = _saturate(program_text, "columnar", "kernel")
+    col_interp, _ = _saturate(program_text, "columnar", "interpret")
+    sh_kernel, _ = _saturate(program_text, "sharded", "kernel")
+    inst_interp, _ = _saturate(program_text, "instance", "interpret")
+    speedup = col_interp["seconds"] / max(col_kernel["seconds"], 1e-9)
+    speedup_vs_instance = (
+        inst_interp["seconds"] / max(col_kernel["seconds"], 1e-9)
+    )
+
+    # -- magic-rewritten cell: demand program through the kernels ------
+    magic_kernel, _ = _saturate(
+        program_text, "columnar", "kernel", query=BOUND_QUERY,
+        rewrite="magic",
+    )
+    magic_interp, _ = _saturate(
+        program_text, "columnar", "interpret", query=BOUND_QUERY,
+        rewrite="magic",
+    )
+
+    # -- post-Session.apply cell: the IVM path ------------------------
+    ivm_kernel = _post_apply_digest(program_text, "columnar", "kernel")
+    ivm_interp = _post_apply_digest(program_text, "instance", "interpret")
+
+    # -- suite-matrix subset: datalog cells across both exec modes ----
+    matrix_kernel = run_matrix(
+        engines=("datalog",),
+        stores=("columnar", "sharded"),
+        scale="smoke",
+        suites=("industrial",),
+        exec_mode="kernel",
+    )
+    matrix_interp = run_matrix(
+        engines=("datalog",),
+        stores=("columnar", "sharded"),
+        scale="smoke",
+        suites=("industrial",),
+        exec_mode="interpret",
+    )
+    matrix_cells = matrix_kernel.cells + matrix_interp.cells
+    disagreements = check_agreement(matrix_cells)
+
+    report(
+        f"Columnar kernel compilation ({VERTICES} vertices + "
+        f"{CHORDS} chords, transitive closure)",
+        ("configuration", "seconds", "rounds", "batches", "answers"),
+        [
+            (
+                f"{cell['store']} × {cell['exec_mode_requested']}",
+                f"{cell['seconds']:.3f}",
+                str(cell["rounds"]),
+                str(cell["kernel_batches"]),
+                str(cell["answers"]),
+            )
+            for cell in (col_kernel, col_interp, sh_kernel, inst_interp)
+        ],
+        notes=(
+            f"kernel speedup {speedup:.1f}x vs columnar-interpret, "
+            f"{speedup_vs_instance:.1f}x vs instance-interpret "
+            f"(asserted floor {SPEEDUP_FLOOR:.0f}x); magic cell "
+            f"{magic_kernel['seconds']:.3f}s kernel vs "
+            f"{magic_interp['seconds']:.3f}s interpret",
+        ),
+    )
+
+    # Evidence first, judgement second: the artifact must exist even
+    # when an assertion below fails (CI uploads it with if: always()).
+    write_json_result(
+        "BENCH_kernels.json",
+        {
+            "schema": "repro/bench-kernels/v1",
+            "scale": {
+                "vertices": VERTICES,
+                "chords": CHORDS,
+                "seed": SEED,
+            },
+            "speedup_floor": SPEEDUP_FLOOR,
+            "speedup_vs_columnar_interpret": speedup,
+            "speedup_vs_instance_interpret": speedup_vs_instance,
+            "saturation_cells": [
+                col_kernel, col_interp, sh_kernel, inst_interp
+            ],
+            "magic_cells": [magic_kernel, magic_interp],
+            "ivm_cells": [ivm_kernel, ivm_interp],
+            "matrix": {
+                "kernel_cells": [
+                    c.as_dict() for c in matrix_kernel.cells
+                ],
+                "interpret_cells": [
+                    c.as_dict() for c in matrix_interp.cells
+                ],
+                "disagreements": disagreements,
+            },
+        },
+    )
+
+    # -- exactness ----------------------------------------------------
+    digests = {
+        cell["digest"]
+        for cell in (col_kernel, col_interp, sh_kernel, inst_interp)
+    }
+    assert len(digests) == 1, (
+        f"kernel and interpreter disagree on the closure: "
+        f"{[c['digest'] for c in (col_kernel, col_interp, sh_kernel, inst_interp)]}"
+    )
+    assert magic_kernel["digest"] == magic_interp["digest"]
+    assert magic_kernel["rewrite"] == "magic"
+    assert ivm_kernel["digest"] == ivm_interp["digest"]
+    assert disagreements == [], disagreements
+
+    # -- dispatch actually happened -----------------------------------
+    assert col_kernel["exec_mode"] == "kernel"
+    assert col_kernel["kernel_batches"] > 0
+    assert sh_kernel["exec_mode"] == "kernel"
+    assert magic_kernel["exec_mode"] == "kernel"
+    assert magic_kernel["kernel_batches"] > 0
+    assert col_interp["exec_mode"] == "interpret"
+    assert col_interp["kernel_batches"] == 0
+    kernel_ok = [
+        c for c in matrix_kernel.cells if c.status == "ok"
+    ]
+    assert kernel_ok, "matrix subset produced no successful cells"
+    assert all(c.exec_mode == "kernel" for c in kernel_ok)
+    assert all(c.kernel_batches > 0 for c in kernel_ok)
+
+    # -- the performance floor ----------------------------------------
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"kernel exec is only {speedup:.2f}x the columnar interpreter "
+        f"(floor {SPEEDUP_FLOOR}x): kernel {col_kernel['seconds']:.3f}s "
+        f"vs interpret {col_interp['seconds']:.3f}s"
+    )

@@ -88,7 +88,11 @@ def execute_plan(
     their saturated result on completion, and the proof-tree engines
     reuse the session's star abstraction.
     """
-    stats = StreamStats(method=plan.method, rewrite=plan.rewrite)
+    stats = StreamStats(
+        method=plan.method,
+        rewrite=plan.rewrite,
+        exec_mode=plan.exec_mode if plan.method == "datalog" else "",
+    )
     query = plan.query
     program = plan.program.program
     kwargs = dict(plan.engine_kwargs)
@@ -110,6 +114,7 @@ def execute_plan(
             if cached is not None:
                 stats.from_cache = True
                 stats.saturated = True
+                stats.exec_mode = ""  # no engine ran at all
                 yield from sorted(
                     _evaluate_fixpoint(run_query, cached), key=str
                 )
@@ -134,6 +139,7 @@ def execute_plan(
                 store=plan.store,
                 on_fixpoint=on_fixpoint,
                 stats=stats,
+                exec_mode=plan.exec_mode,
             )
             stats.saturated = True
 

@@ -14,11 +14,13 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Optional, Tuple
 
 from ..core.query import ConjunctiveQuery
+from ..datalog.seminaive import EXEC_MODES
+from ..kernels import kernel_capable
 from ..rewriting.magic import MagicRewriting, magic_rewrite, query_constants
 from ..storage import BACKENDS, FactStore
 from .program import CompiledProgram, compile_program
 
-__all__ = ["Planner", "QueryPlan", "ENGINES", "REWRITES"]
+__all__ = ["Planner", "QueryPlan", "ENGINES", "REWRITES", "EXEC_MODES"]
 
 #: Engine names a plan can resolve to (``"auto"`` is accepted as input).
 ENGINES = ("datalog", "pwl", "ward", "chase", "network")
@@ -27,6 +29,14 @@ ENGINES = ("datalog", "pwl", "ward", "chase", "network")
 #: magic-set demand transformation exactly when it pays: a full
 #: program, the datalog engine, and ≥1 bound argument in the query).
 REWRITES = ("auto", "magic", "none")
+
+#: Store names whose instantiated backends expose the interned
+#: id-array surface (``rows_interned``/``extend_interned``) the
+#: compiled kernels run over.  Factories are classified by their
+#: ``__name__`` (:func:`repro.storage.sharded.sharded_store_factory`
+#: sets it); live :class:`~repro.storage.base.FactStore` instances are
+#: probed directly with :func:`repro.kernels.kernel_capable`.
+KERNEL_STORES = frozenset({"columnar", "sharded"})
 
 _ENGINE_LABELS = {
     "datalog": "semi-naive least fixpoint (exact for full programs)",
@@ -115,6 +125,13 @@ class QueryPlan:
     rewrite: str = "none"
     rewrite_note: str = "none (plan not built by Planner.plan)"
     rewriting: Optional[MagicRewriting] = field(compare=False, default=None)
+    #: The resolved exec dimension (:data:`EXEC_MODES` minus ``"auto"``):
+    #: ``"kernel"`` runs the datalog engine's rounds as compiled batch
+    #: kernels over interned id arrays, ``"interpret"`` keeps the
+    #: per-tuple substitution interpreter; ``exec_note`` carries the
+    #: stable why/why-not shown by :meth:`explain`.
+    exec_mode: str = "interpret"
+    exec_note: str = "interpret (plan not built by Planner.plan)"
     #: Whether a saturated materialization of this plan can be upgraded
     #: in place under EDB change sets (see :mod:`repro.incremental`);
     #: ``maintenance`` carries the human-readable why/why-not.  The
@@ -139,6 +156,7 @@ class QueryPlan:
             f"{len(analysis.strata.layers)} stratum/strata",
             f"  engine  : {self.method} — {self.engine_label}",
             f"  rewrite : {self.rewrite_note}",
+            f"  exec    : {self.exec_note}",
             f"  store   : {self.store_name}",
             f"  update  : {self.maintenance}",
             "  why:",
@@ -199,6 +217,7 @@ class Planner:
         method: str = "auto",
         store="instance",
         rewrite: str = "auto",
+        exec_mode: str = "auto",
         magic_provider: Optional[Callable] = None,
         **engine_kwargs,
     ) -> QueryPlan:
@@ -210,7 +229,13 @@ class Planner:
         exactly when the program is full, the plan resolved to the
         datalog engine, and the query binds at least one argument;
         ``"magic"`` forces it (an error outside that fragment);
-        ``"none"`` disables it.  ``magic_provider``, if given, builds
+        ``"none"`` disables it.  ``exec_mode`` selects the exec
+        dimension (:data:`EXEC_MODES`): ``"auto"`` compiles the
+        datalog engine's rounds to columnar batch kernels exactly when
+        the store exposes interned id arrays (:data:`KERNEL_STORES`);
+        ``"kernel"`` forces it (an error off the datalog engine or on
+        an incapable store); ``"interpret"`` keeps the per-tuple
+        interpreter.  ``magic_provider``, if given, builds
         the :class:`~repro.rewriting.magic.MagicRewriting` — the
         session passes its per-(program, binding-pattern) cache here.
         Remaining keyword arguments are forwarded to the chosen engine
@@ -225,6 +250,50 @@ class Planner:
                 f"unknown rewrite {rewrite!r}; choose one of "
                 f"{', '.join(REWRITES)}"
             )
+        if exec_mode not in EXEC_MODES:
+            raise ValueError(
+                f"unknown exec_mode {exec_mode!r}; choose one of "
+                f"{', '.join(EXEC_MODES)}"
+            )
+        store_name = _store_label(store)
+        if resolved != "datalog":
+            if exec_mode == "kernel":
+                raise ValueError(
+                    "compiled kernels run on the datalog engine's "
+                    f"semi-naive rounds; this plan resolved to {resolved!r}"
+                )
+            exec_resolved = "interpret"
+            exec_note = (
+                f"interpret (engine {resolved!r} has no compiled "
+                "kernel path)"
+            )
+        elif exec_mode == "interpret":
+            exec_resolved = "interpret"
+            exec_note = "interpret (forced by the caller)"
+        else:
+            capable = (
+                kernel_capable(store)
+                if isinstance(store, FactStore)
+                else store_name in KERNEL_STORES
+            )
+            if capable:
+                exec_resolved = "kernel"
+                exec_note = (
+                    f"kernel (store '{store_name}' exposes interned "
+                    "id arrays)"
+                )
+            elif exec_mode == "kernel":
+                raise ValueError(
+                    "exec_mode='kernel' needs a store with an interned "
+                    "id-array surface (rows_interned/extend_interned); "
+                    f"{store_name!r} has none"
+                )
+            else:
+                exec_resolved = "interpret"
+                exec_note = (
+                    f"interpret (store '{store_name}' has no interned "
+                    "id-array surface)"
+                )
         rewriting = None
         bound = len(query_constants(query))
         if rewrite == "none":
@@ -313,7 +382,7 @@ class Planner:
             query=query,
             method=resolved,
             store=store,
-            store_name=_store_label(store),
+            store_name=store_name,
             program=compiled,
             reasons=reasons,
             steps=_PIPELINES[resolved],
@@ -321,6 +390,8 @@ class Planner:
             rewrite="magic" if rewriting is not None else "none",
             rewrite_note=rewrite_note,
             rewriting=rewriting,
+            exec_mode=exec_resolved,
+            exec_note=exec_note,
             maintainable=maintainable,
             maintenance=maintenance,
         )

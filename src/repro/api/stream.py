@@ -36,7 +36,11 @@ class StreamStats:
     without re-running the engine.  ``rewrite`` is the plan's resolved
     demand dimension (``"magic"`` or ``"none"``) and ``derived`` the
     facts the datalog engine staged beyond the seeded database — the
-    pair the demand benchmark compares across plans.  ``wall_ms`` is
+    pair the demand benchmark compares across plans.  ``exec_mode`` is
+    the exec dimension the datalog engine actually ran
+    (``"kernel"``/``"interpret"``; empty for other engines and cache
+    hits) and ``kernel_batches`` the number of batch operations the
+    compiled kernels executed (0 under the interpreter).  ``wall_ms`` is
     the cumulative wall-clock time spent driving the engine (pull time
     only — construction and idle time between pulls are excluded), and
     ``snapshot_version`` the EDB version the query was admitted under
@@ -52,6 +56,8 @@ class StreamStats:
     events: int = 0
     derived: int = 0
     rewrite: str = "none"
+    exec_mode: str = ""
+    kernel_batches: int = 0
     saturated: Optional[bool] = None
     from_cache: bool = False
     wall_ms: float = 0.0

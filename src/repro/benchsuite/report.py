@@ -77,6 +77,11 @@ class CellResult:
     rounds: int = 0
     events: int = 0
     decided_tuples: int = 0
+    #: The exec dimension the datalog engine actually ran
+    #: (``"kernel"``/``"interpret"``; empty off the datalog engine) and
+    #: how many batch operations the compiled kernels executed.
+    exec_mode: str = ""
+    kernel_batches: int = 0
     resident_bytes: int = 0
     spilled_bytes: int = 0
     memory: Dict[str, int] = field(default_factory=dict)
@@ -102,6 +107,8 @@ class CellResult:
             "rounds": self.rounds,
             "events": self.events,
             "decided_tuples": self.decided_tuples,
+            "exec_mode": self.exec_mode,
+            "kernel_batches": self.kernel_batches,
             "resident_bytes": self.resident_bytes,
             "spilled_bytes": self.spilled_bytes,
             "memory": dict(self.memory),

@@ -57,7 +57,7 @@ from .analysis import (
     node_width_bound_pwl,
     node_width_bound_ward,
 )
-from .api import ENGINES, REWRITES, Session
+from .api import ENGINES, EXEC_MODES, REWRITES, Session
 from .chase import chase
 from .lang.parser import parse_program, parse_query
 from .storage import BACKENDS
@@ -202,6 +202,14 @@ def build_parser() -> argparse.ArgumentParser:
              "programs (default: auto — applied exactly when it pays)",
     )
     answer.add_argument(
+        "--exec", dest="exec_mode",
+        default="auto",
+        choices=EXEC_MODES,
+        help="datalog exec dimension: compiled columnar batch kernels "
+             "vs the per-tuple interpreter (default: auto — kernels "
+             "exactly when the store exposes interned id arrays)",
+    )
+    answer.add_argument(
         "--explain", action="store_true",
         help="print the query plan before the answers",
     )
@@ -229,6 +237,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=REWRITES,
         help="demand (magic-set) rewriting of bound queries on full "
              "programs (default: auto — applied exactly when it pays)",
+    )
+    query.add_argument(
+        "--exec", dest="exec_mode",
+        default="auto",
+        choices=EXEC_MODES,
+        help="datalog exec dimension: compiled columnar batch kernels "
+             "vs the per-tuple interpreter (default: auto — kernels "
+             "exactly when the store exposes interned id arrays)",
     )
     query.add_argument(
         "--explain", action="store_true",
@@ -338,6 +354,13 @@ def build_parser() -> argparse.ArgumentParser:
              "maintained, which would defeat this subcommand's "
              "upgrade-in-place purpose)",
     )
+    update.add_argument(
+        "--exec", dest="exec_mode",
+        default="auto",
+        choices=EXEC_MODES,
+        help="datalog exec dimension for the --query runs "
+             "(default: auto)",
+    )
 
     rewrite = commands.add_parser(
         "rewrite",
@@ -411,6 +434,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--method", default="auto", choices=("auto",) + ENGINES
     )
     client_query.add_argument("--rewrite", default="auto", choices=REWRITES)
+    client_query.add_argument(
+        "--exec", dest="exec_mode", default="auto", choices=EXEC_MODES
+    )
     client_query.add_argument(
         "--first", type=_positive_int, default=None, metavar="N",
         help="stop each answer stream after N tuples",
@@ -489,6 +515,7 @@ def _answer_one(session, query_text, args, out) -> None:
         query_text,
         method=args.method,
         rewrite=getattr(args, "rewrite", "auto"),
+        exec_mode=getattr(args, "exec_mode", "auto"),
     )
     if getattr(args, "explain", False):
         print(stream.explain(), file=out)
@@ -513,7 +540,8 @@ def _answer_one(session, query_text, args, out) -> None:
 def _cmd_answer(args, out) -> int:
     session = _load_session(args)
     stream = session.query(
-        args.query, method=args.method, rewrite=args.rewrite
+        args.query, method=args.method, rewrite=args.rewrite,
+        exec_mode=args.exec_mode,
     )
     if args.explain:
         print(stream.explain(), file=out)
@@ -632,7 +660,8 @@ def _cmd_update(args, out, stdin) -> int:
         # hence --rewrite defaults to "none" here: a demand-specific
         # magic fixpoint would be dropped by apply(), not upgraded.
         session.query(
-            query_text, method=args.method, rewrite=args.rewrite
+            query_text, method=args.method, rewrite=args.rewrite,
+            exec_mode=args.exec_mode,
         ).to_set()
     if args.changes == "-":
         stdin = stdin if stdin is not None else sys.stdin
@@ -822,6 +851,7 @@ def _cmd_client(args, out, stdin) -> int:
                     query_text,
                     method=args.method,
                     rewrite=args.rewrite,
+                    exec_mode=args.exec_mode,
                     first=args.first,
                 )
                 for row in result.answers:

@@ -28,17 +28,47 @@ from ..core.query import ConjunctiveQuery, stream_new_answers
 from ..core.substitution import Substitution
 from ..core.terms import Constant, Term, Variable
 from ..core.tgd import TGD
+from ..kernels import KernelEvaluator, kernel_capable
 from ..storage import ColumnarStore, DeltaOverlay, FactStore, StoreChoice, make_store
 
 __all__ = [
     "SemiNaiveResult",
     "SemiNaiveRound",
+    "EXEC_MODES",
     "seminaive",
     "seminaive_rounds",
     "seminaive_delta_rounds",
     "datalog_answers",
     "stream_datalog_answers",
 ]
+
+#: Execution modes of the semi-naive core: ``"kernel"`` runs compiled
+#: batch kernels over interned id rows (stores exposing
+#: ``rows_interned``/``extend_interned``), ``"interpret"`` the classic
+#: per-tuple substitution loop, ``"auto"`` kernels whenever the store
+#: is capable.  Both modes produce identical rounds, staged facts, and
+#: ``considered`` counts — the interpreter is the kernel's oracle.
+EXEC_MODES = ("auto", "kernel", "interpret")
+
+
+def _resolve_exec(exec_mode: str, instance: Optional[FactStore],
+                  store_label: str) -> str:
+    """The mode actually run for this store, validating forced kernels."""
+    if exec_mode not in EXEC_MODES:
+        raise ValueError(
+            f"unknown exec_mode {exec_mode!r}; choose one of "
+            f"{', '.join(EXEC_MODES)}"
+        )
+    capable = instance is not None and kernel_capable(instance)
+    if exec_mode == "kernel" and not capable:
+        raise ValueError(
+            f"exec_mode='kernel' needs a store with an interned "
+            f"id-array surface (rows_interned/extend_interned); "
+            f"{store_label!r} has none"
+        )
+    if exec_mode == "interpret" or not capable:
+        return "interpret"
+    return "kernel"
 
 
 @dataclass
@@ -51,6 +81,8 @@ class SemiNaiveResult:
     considered: int         # body matches examined (work measure)
     per_round_considered: tuple[int, ...] = ()
     per_round_derived: tuple[int, ...] = ()
+    exec_mode: str = "interpret"   # core that ran (kernel/interpret)
+    batches: int = 0               # kernel batch operations executed
 
     def evaluate(self, query: ConjunctiveQuery) -> set[tuple[Constant, ...]]:
         """Evaluate a CQ over the least fixpoint."""
@@ -125,6 +157,28 @@ class SemiNaiveRound:
     staged: tuple[Atom, ...]
     considered: int
     instance: FactStore
+    #: Batch operations this round executed (kernel mode only) and the
+    #: mode that produced the event — observability for
+    #: :class:`~repro.api.stream.StreamStats`.
+    batches: int = 0
+    exec_mode: str = "interpret"
+
+
+def _kernel_loop(
+    evaluator: KernelEvaluator,
+    max_rounds: Optional[int],
+) -> Iterable[SemiNaiveRound]:
+    """Wrap the kernel runtime's rounds as :class:`SemiNaiveRound`
+    events (post-merge instance view, same as the interpreter loop)."""
+    for index, staged, considered, batches in evaluator.rounds(max_rounds):
+        yield SemiNaiveRound(
+            index=index,
+            staged=staged,
+            considered=considered,
+            instance=evaluator.store,
+            batches=batches,
+            exec_mode="kernel",
+        )
 
 
 def seminaive_rounds(
@@ -133,6 +187,7 @@ def seminaive_rounds(
     max_rounds: Optional[int] = None,
     *,
     store: StoreChoice = "instance",
+    exec_mode: str = "auto",
 ) -> Iterable[SemiNaiveRound]:
     """The semi-naive fixpoint as a lazy generator of round events.
 
@@ -144,26 +199,49 @@ def seminaive_rounds(
     layer *is* the semi-naive delta, promoted at each round boundary;
     the other backends keep the classic two-store structure.  All
     backends perform the identical round structure and derivations.
+
+    ``exec_mode`` picks the execution core (:data:`EXEC_MODES`):
+    ``"auto"`` compiles the rules to columnar batch kernels when the
+    store exposes interned id arrays (columnar, sharded) and falls back
+    to the per-tuple interpreter otherwise (instance, delta overlay);
+    both cores produce identical events.
     """
     _check_datalog(program)
     if store == "delta":
         # One overlay plays both roles: its writable layer *is* the
         # round's delta, promoted into the (columnar) base at each
-        # round boundary.
+        # round boundary.  The overlay has no id-array surface, so it
+        # always interprets.
+        _resolve_exec(exec_mode, None, "delta")
         overlay: Optional[DeltaOverlay] = DeltaOverlay(ColumnarStore())
         overlay.add_all(database)
         instance: FactStore = overlay
         delta: FactStore = overlay.delta
-    else:
-        overlay = None
-        instance = make_store(store, database)
-        delta = instance.fresh()
-        delta.add_all(database)
+        yield SemiNaiveRound(
+            index=0, staged=tuple(database), considered=0, instance=instance
+        )
+        yield from _delta_loop(
+            instance, delta, program, overlay=overlay, max_rounds=max_rounds
+        )
+        return
+    instance = make_store(store, database)
+    label = store if isinstance(store, str) else type(instance).__name__
+    if _resolve_exec(exec_mode, instance, label) == "kernel":
+        evaluator = KernelEvaluator(instance, program)
+        evaluator.mark_all_delta()
+        yield SemiNaiveRound(
+            index=0, staged=tuple(database), considered=0,
+            instance=instance, exec_mode="kernel",
+        )
+        yield from _kernel_loop(evaluator, max_rounds)
+        return
+    delta = instance.fresh()
+    delta.add_all(database)
     yield SemiNaiveRound(
         index=0, staged=tuple(database), considered=0, instance=instance
     )
     yield from _delta_loop(
-        instance, delta, program, overlay=overlay, max_rounds=max_rounds
+        instance, delta, program, max_rounds=max_rounds
     )
 
 
@@ -222,6 +300,8 @@ def seminaive_delta_rounds(
     program: Program,
     delta_atoms: Iterable[Atom],
     max_rounds: Optional[int] = None,
+    *,
+    exec_mode: str = "auto",
 ) -> Iterable[SemiNaiveRound]:
     """Resume a saturated semi-naive fixpoint after new facts arrive.
 
@@ -238,8 +318,24 @@ def seminaive_delta_rounds(
     atoms already processed may appear in the seed (the maintainer
     passes every fact added since the last fixpoint): re-deriving from
     them is wasted work but never changes the result.
+
+    ``exec_mode`` follows :func:`seminaive_rounds`: on a kernel-capable
+    *instance* the resumption itself runs as batch kernels (the
+    incremental-maintenance insertion fast path inherits the speedup).
     """
     _check_datalog(program)
+    label = type(instance).__name__
+    if _resolve_exec(exec_mode, instance, label) == "kernel":
+        evaluator = KernelEvaluator(instance, program)
+        # The evaluator seeds store and mirror together: a seed atom
+        # the instance already holds is delta without being a new row.
+        seed = evaluator.seed_delta(delta_atoms)
+        yield SemiNaiveRound(
+            index=0, staged=tuple(seed), considered=0,
+            instance=instance, exec_mode="kernel",
+        )
+        yield from _kernel_loop(evaluator, max_rounds)
+        return
     seed: List[Atom] = []
     seen: set[Atom] = set()
     for atom in delta_atoms:
@@ -264,25 +360,32 @@ def seminaive(
     max_rounds: Optional[int] = None,
     *,
     store: StoreChoice = "instance",
+    exec_mode: str = "auto",
 ) -> SemiNaiveResult:
     """Compute the least fixpoint of a Datalog program over a database.
 
     Thin eager driver over :func:`seminaive_rounds`; see there for the
-    round structure and the ``store`` semantics.
+    round structure and the ``store``/``exec_mode`` semantics.
     """
     instance: Optional[FactStore] = None
     rounds = 0
     derived = 0
     considered = 0
+    batches = 0
+    resolved_exec = "interpret"
     per_round_considered: List[int] = []
     per_round_derived: List[int] = []
-    for event in seminaive_rounds(database, program, max_rounds, store=store):
+    for event in seminaive_rounds(
+        database, program, max_rounds, store=store, exec_mode=exec_mode
+    ):
         instance = event.instance
+        resolved_exec = event.exec_mode
         if event.index == 0:
             continue
         rounds = event.index
         derived += len(event.staged)
         considered += event.considered
+        batches += event.batches
         per_round_considered.append(event.considered)
         per_round_derived.append(len(event.staged))
     assert instance is not None
@@ -293,6 +396,8 @@ def seminaive(
         considered=considered,
         per_round_considered=tuple(per_round_considered),
         per_round_derived=tuple(per_round_derived),
+        exec_mode=resolved_exec,
+        batches=batches,
     )
 
 
@@ -302,6 +407,7 @@ def stream_datalog_answers(
     program: Program,
     *,
     store: StoreChoice = "instance",
+    exec_mode: str = "auto",
     on_fixpoint=None,
     stats=None,
 ) -> Iterable[tuple[Constant, ...]]:
@@ -314,24 +420,33 @@ def stream_datalog_answers(
     all rounds equals the eager :func:`datalog_answers` set.
     ``on_fixpoint``, if given, receives the final :class:`FactStore`
     (callers use it to cache the materialization).  ``stats``, if given,
-    receives running ``rounds`` and ``derived`` attributes.
+    receives running ``rounds``, ``derived``, ``exec_mode`` and
+    ``kernel_batches`` attributes.
     """
     last_instance: List[Optional[FactStore]] = [None]
 
     def tap(events):
         derived = 0
+        batches = 0
         for event in events:
             last_instance[0] = event.instance
             if event.index > 0:
                 derived += len(event.staged)
+                batches += event.batches
             if stats is not None:
                 stats.rounds = event.index
                 stats.derived = derived
+                stats.exec_mode = event.exec_mode
+                stats.kernel_batches = batches
             yield event
 
     yield from stream_new_answers(
         query,
-        tap(seminaive_rounds(database, program, store=store)),
+        tap(
+            seminaive_rounds(
+                database, program, store=store, exec_mode=exec_mode
+            )
+        ),
         lambda event: event.staged,
     )
     if on_fixpoint is not None and last_instance[0] is not None:
@@ -344,9 +459,14 @@ def datalog_answers(
     program: Program,
     *,
     store: StoreChoice = "instance",
+    exec_mode: str = "auto",
 ) -> set[tuple[Constant, ...]]:
     """``cert(q, D, Σ)`` for a Datalog program: evaluate over the fixpoint.
 
     Thin eager wrapper over :func:`stream_datalog_answers`.
     """
-    return set(stream_datalog_answers(query, database, program, store=store))
+    return set(
+        stream_datalog_answers(
+            query, database, program, store=store, exec_mode=exec_mode
+        )
+    )

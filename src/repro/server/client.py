@@ -122,6 +122,7 @@ class ReasoningClient:
         *,
         method: str = "auto",
         rewrite: str = "auto",
+        exec_mode: str = "auto",
         first: Optional[int] = None,
         **engine_kwargs,
     ) -> RemoteAnswers:
@@ -130,6 +131,8 @@ class ReasoningClient:
             request["method"] = method
         if rewrite != "auto":
             request["rewrite"] = rewrite
+        if exec_mode != "auto":
+            request["exec_mode"] = exec_mode
         if first is not None:
             request["first"] = first
         request.update(engine_kwargs)

@@ -38,6 +38,7 @@ OPS = ("query", "update", "stats", "ping", "shutdown")
 QUERY_OPTIONS = (
     "method",
     "rewrite",
+    "exec_mode",
     "first",
     "variant",
     "max_atoms",

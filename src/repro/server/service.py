@@ -397,6 +397,7 @@ class ReasoningService:
         *,
         method: str = "auto",
         rewrite: str = "auto",
+        exec_mode: str = "auto",
         **engine_kwargs,
     ) -> AnswerStream:
         """Admit *query* under the current snapshot and return its lazy
@@ -411,7 +412,8 @@ class ReasoningService:
         lease = self._snapshots.current()
         try:
             plan = self._session.plan(
-                query, method=method, rewrite=rewrite, **engine_kwargs
+                query, method=method, rewrite=rewrite,
+                exec_mode=exec_mode, **engine_kwargs
             )
             stream = execute_plan(
                 plan, lease.store, session=_caches_for(lease.snapshot)
@@ -447,13 +449,15 @@ class ReasoningService:
         *,
         method: str = "auto",
         rewrite: str = "auto",
+        exec_mode: str = "auto",
         first: Optional[int] = None,
         **engine_kwargs,
     ) -> QueryResult:
         """Answer *query* eagerly: drain the stream (or its first *n*)
         and release the snapshot lease before returning."""
         stream = self.stream(
-            query, method=method, rewrite=rewrite, **engine_kwargs
+            query, method=method, rewrite=rewrite, exec_mode=exec_mode,
+            **engine_kwargs
         )
         try:
             if first is not None:

@@ -136,6 +136,82 @@ class ColumnarStore(FactStore):
         self._probe_lock = threading.Lock()
         self.add_all(atoms)
 
+    # -- interned bulk surface ---------------------------------------------
+
+    @property
+    def table(self) -> TermTable:
+        """The interning table (shared across one base/delta family)."""
+        return self._table
+
+    def rows_interned(
+        self, predicate: Optional[str] = None
+    ) -> List[Tuple[str, int, List[Row]]]:
+        """Snapshots of every relation as interned id rows.
+
+        Returns ``(predicate, arity, rows)`` batches — the bulk read
+        half of the kernel surface: engines mirror relations from here
+        without decoding a single :class:`Atom`.  Row tuples are the
+        stored objects (immutable); the containing lists are snapshots.
+        """
+        if predicate is None:
+            items = list(self._relations.items())
+        else:
+            items = [(predicate, self._relations.get(predicate, {}))]
+        return [
+            (pred, arity, list(relation.rows))
+            for pred, by_arity in items
+            for arity, relation in by_arity.items()
+            if relation.rows
+        ]
+
+    def extend_interned(
+        self, predicate: str, arity: int, rows: Iterable[Row]
+    ) -> int:
+        """Bulk-append interned id rows to one relation.
+
+        The write half of the kernel surface: equivalent to adding the
+        decoded atoms one by one (same dedup, same indexes, same final
+        content) but with one version bump per batch and no per-atom
+        ``Atom``/``intern`` round-trip.  Every id must already be
+        interned in :attr:`table`; rows are validated against *arity*.
+        Returns how many rows were new.
+        """
+        self._check_mutable()
+        limit = len(self._table)
+        by_arity = self._relations.setdefault(predicate, {})
+        relation = by_arity.get(arity)
+        if relation is None:
+            relation = by_arity[arity] = _Relation(predicate, arity)
+        row_pos = relation.row_pos
+        stored = relation.rows
+        indexes = relation.indexes
+        added = 0
+        for row in rows:
+            row = tuple(row)
+            if len(row) != arity:
+                raise ValueError(
+                    f"extend_interned({predicate!r}, arity={arity}): row "
+                    f"{row!r} has {len(row)} column(s)"
+                )
+            if row in row_pos:
+                continue
+            for tid in row:
+                if not isinstance(tid, int) or not 0 <= tid < limit:
+                    raise ValueError(
+                        f"extend_interned({predicate!r}): id {tid!r} is "
+                        f"not interned (table holds {limit} terms)"
+                    )
+            number = len(stored)
+            stored.append(row)
+            row_pos[row] = number
+            for position, index in indexes.items():
+                index.setdefault(row[position], []).append(number)
+            added += 1
+        if added:
+            relation.version += 1
+            self._size += added
+        return added
+
     # -- encoding ----------------------------------------------------------
 
     def _encode(self, atom: Atom) -> Row:
@@ -387,17 +463,23 @@ class ColumnarStore(FactStore):
                 indexes += deep_sizeof(relation.indexes, seen)
         terms = self._table.measured_bytes(seen)
         cache = deep_sizeof(self._probe_cache, seen)
+        components = {
+            "columns": columns,
+            "dedup": dedup,
+            "indexes": indexes,
+            "terms": terms,
+            "probe_cache": cache,
+        }
+        if self.has_scratch:
+            # Measured last: row tuples an attached kernel shares with
+            # the store are charged to "columns", scratch gets only the
+            # engine's own structures (indexes, delta buffers, mirrors).
+            components["kernel_scratch"] = self.scratch_bytes(seen)
         return MemoryReport(
             backend=self.backend_name,
             atom_count=self._size,
             term_count=len(self._table),
-            components={
-                "columns": columns,
-                "dedup": dedup,
-                "indexes": indexes,
-                "terms": terms,
-                "probe_cache": cache,
-            },
+            components=components,
         )
 
     def __repr__(self) -> str:

@@ -23,7 +23,7 @@ through the mutable delta layered above it.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set
 
 from ..core.terms import Term
 from .memory import deep_sizeof
@@ -54,6 +54,34 @@ class TermTable:
                     self._terms.append(term)
                     self._ids[term] = tid
         return tid
+
+    def intern_many(self, terms: Iterable[Term]) -> List[int]:
+        """Ids for *terms* in order, interning unseen ones in bulk.
+
+        Equivalent to ``[self.intern(t) for t in terms]`` — same ids,
+        same assignment order for unseen terms — but the lock is taken
+        once for the whole batch of misses instead of once per miss,
+        which is what makes bulk loading and kernel-side head
+        construction cheap on a shared table.
+        """
+        ids = self._ids
+        resolved: List[int] = []
+        pending: List[tuple[int, Term]] = []
+        for position, term in enumerate(terms):
+            tid = ids.get(term)
+            resolved.append(tid)
+            if tid is None:
+                pending.append((position, term))
+        if pending:
+            with self._lock:
+                for position, term in pending:
+                    tid = ids.get(term)
+                    if tid is None:
+                        tid = len(self._terms)
+                        self._terms.append(term)
+                        ids[term] = tid
+                    resolved[position] = tid
+        return resolved
 
     def id_of(self, term: Term) -> Optional[int]:
         """The id of *term*, or None if it was never interned."""

@@ -307,6 +307,98 @@ class ShardedStore(FactStore):
         rows = self._pager.read(relation.predicate, relation.arity, index)
         return rows if rows is not None else []
 
+    # -- interned bulk surface ---------------------------------------------
+
+    def rows_interned(
+        self, predicate: Optional[str] = None
+    ) -> List[Tuple[str, int, List[Row]]]:
+        """Snapshots of every relation as interned id rows.
+
+        Same contract as :meth:`ColumnarStore.rows_interned`; evicted
+        shards are read through page peeks, so a bulk read of a store
+        bigger than its budget does not thrash the resident set.
+        """
+        with self._lock:
+            if predicate is None:
+                relations = [
+                    relation
+                    for by_arity in self._relations.values()
+                    for relation in by_arity.values()
+                ]
+            else:
+                relations = list(self._relations.get(predicate, {}).values())
+            return [
+                (
+                    relation.predicate,
+                    relation.arity,
+                    [
+                        row
+                        for index, shard in enumerate(relation.shards)
+                        if shard.count
+                        for row in self._peek_rows(relation, index, shard)
+                    ],
+                )
+                for relation in relations
+                if relation.count
+            ]
+
+    def extend_interned(
+        self, predicate: str, arity: int, rows: Iterable[Row]
+    ) -> int:
+        """Bulk-append interned id rows to one relation.
+
+        Rows are grouped by target shard so each shard is paged in at
+        most once per batch; the byte budget is enforced after each
+        shard's group, the same discipline as per-atom ``add``.  One
+        version bump per batch.  Returns how many rows were new.
+        """
+        self._check_mutable()
+        limit = len(self._table)
+        added = 0
+        with self._lock:
+            by_arity = self._relations.setdefault(predicate, {})
+            relation = by_arity.get(arity)
+            if relation is None:
+                relation = by_arity[arity] = _ShardedRelation(
+                    predicate, arity, self._key_position, self._num_shards
+                )
+            cost = _row_cost(arity)
+            grouped: Dict[int, List[Row]] = {}
+            for row in rows:
+                row = tuple(row)
+                if len(row) != arity:
+                    raise ValueError(
+                        f"extend_interned({predicate!r}, arity={arity}): "
+                        f"row {row!r} has {len(row)} column(s)"
+                    )
+                for tid in row:
+                    if not isinstance(tid, int) or not 0 <= tid < limit:
+                        raise ValueError(
+                            f"extend_interned({predicate!r}): id {tid!r} "
+                            f"is not interned (table holds {limit} terms)"
+                        )
+                grouped.setdefault(relation.shard_of(row), []).append(row)
+            for index, batch in grouped.items():
+                shard = relation.shards[index]
+                resident = self._resident_rows(relation, index, shard)
+                shard_added = 0
+                for row in batch:
+                    if row in resident:
+                        continue
+                    resident.add(row)
+                    shard_added += 1
+                if shard_added:
+                    shard.count += shard_added
+                    shard.dirty = True
+                    shard.estimate += cost * shard_added
+                    self._resident_estimate += cost * shard_added
+                    added += shard_added
+                self._enforce_budget((predicate, arity, index))
+            if added:
+                relation.version += 1
+                self._size += added
+        return added
+
     # -- mutation ----------------------------------------------------------
 
     def add(self, atom: Atom) -> bool:
@@ -634,15 +726,21 @@ class ShardedStore(FactStore):
                     map_bytes += sys.getsizeof(relation)
             terms = self._table.measured_bytes(seen)
             spilled = {"pages": self._pager.bytes}
+            components = {
+                "shards": shards_bytes,
+                "shard_map": map_bytes,
+                "terms": terms,
+            }
+            if self.has_scratch:
+                # Last, so rows shared with an attached kernel are
+                # charged to "shards" and scratch reports only the
+                # engine's own structures.
+                components["kernel_scratch"] = self.scratch_bytes(seen)
             return MemoryReport(
                 backend=self.backend_name,
                 atom_count=self._size,
                 term_count=len(self._table),
-                components={
-                    "shards": shards_bytes,
-                    "shard_map": map_bytes,
-                    "terms": terms,
-                },
+                components=components,
                 spilled=spilled,
             )
 
