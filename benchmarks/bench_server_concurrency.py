@@ -24,6 +24,7 @@ from repro.core.instance import Database
 from repro.datalog.seminaive import seminaive
 from repro.lang.parser import parse_query
 from repro.server import ReasoningClient, ReasoningServer, ReasoningService
+from repro.workloads import LatencyHistogram
 
 from conftest import write_json_result
 
@@ -52,12 +53,6 @@ def _delta_lines(step) -> str:
     return "\n".join(lines)
 
 
-def _percentile(samples, fraction):
-    ordered = sorted(samples)
-    index = min(len(ordered) - 1, int(fraction * len(ordered)))
-    return ordered[index]
-
-
 def test_server_concurrency_under_churn(benchmark, report):
     churn = generate_churn(
         vertices=VERTICES,
@@ -77,7 +72,7 @@ def test_server_concurrency_under_churn(benchmark, report):
     server.serve_in_thread()
 
     observations = []  # (query_text, admitted version, answer rows)
-    latencies = []  # seconds, client-observed, per query
+    latencies = LatencyHistogram()  # client-observed, per query
     update_records = []  # server payloads, one per batch
     errors = []
     observe_lock = threading.Lock()
@@ -107,11 +102,11 @@ def test_server_concurrency_under_churn(benchmark, report):
                     begin = time.perf_counter()
                     result = client.query(query_text)
                     elapsed = time.perf_counter() - begin
+                    latencies.record(elapsed)
                     with observe_lock:
                         observations.append(
                             (query_text, result.version, result.answers)
                         )
-                        latencies.append(elapsed)
                     if done_before:
                         return  # one final post-churn pass completed
         except Exception as error:
@@ -174,8 +169,8 @@ def test_server_concurrency_under_churn(benchmark, report):
 
     queries_answered = len(observations)
     qps = queries_answered / wall_seconds if wall_seconds else 0.0
-    p50 = _percentile(latencies, 0.50) if latencies else 0.0
-    p99 = _percentile(latencies, 0.99) if latencies else 0.0
+    p50 = latencies.p50
+    p99 = latencies.p99
 
     # One client round-trip as the pytest-benchmark row.
     bench_service = ReasoningService(
@@ -235,6 +230,7 @@ def test_server_concurrency_under_churn(benchmark, report):
             "sustained_qps": qps,
             "latency_p50_ms": p50 * 1000,
             "latency_p99_ms": p99 * 1000,
+            "latency": latencies.summary(),
             "versions_installed": service.current_version,
             "versions_queried": queried_versions,
             "digest_mismatches": mismatches[:10],

@@ -163,6 +163,11 @@ def generate_churn(
             "churn": churn,
             "retract_fraction": retract_fraction,
             "seed": seed,
+            # The exported key space: every vertex name, isolated ones
+            # included — workload generators sample keys from here
+            # (Scenario.key_space), not from whichever vertices happen
+            # to carry edges right now.
+            "key_space": [f"n{i}" for i in range(vertices)],
         },
     )
     return ChurnScenario(scenario=scenario, steps=stream)

@@ -159,5 +159,12 @@ def generate_iwarded(
         database=database,
         queries=queries,
         planted_recursion=planted,
-        meta={"vertices": vertices, "edges": edges, "seed": seed},
+        meta={
+            "vertices": vertices,
+            "edges": edges,
+            "seed": seed,
+            # Exported for skewed workload generation: every vertex,
+            # not just the ones currently carrying edges.
+            "key_space": [f"n{i}" for i in range(vertices)],
+        },
     )

@@ -38,3 +38,26 @@ class Scenario:
             f"{self.suite}/{self.name}: {len(self.program)} TGDs, "
             f"{len(self.database)} facts, planted={self.planted_recursion}"
         )
+
+    def key_space(self) -> tuple:
+        """The scenario's addressable keys, for workload generation.
+
+        Skewed traffic generators (:mod:`repro.workloads.generate`)
+        sample query constants and update targets from this space.
+        Families that know their key population export it explicitly
+        via ``meta["key_space"]`` (the graph families: every vertex,
+        including isolated ones); the fallback is every constant
+        observed in the EDB, sorted for determinism.
+        """
+        exported = self.meta.get("key_space")
+        if exported:
+            return tuple(exported)
+        return tuple(
+            sorted(
+                {
+                    str(term)
+                    for atom in self.database
+                    for term in atom.args
+                }
+            )
+        )

@@ -31,7 +31,13 @@ The everyday workflow of the library, now built on the
   every query snapshot-isolated against live ``update`` batches;
   SIGTERM/SIGINT drain gracefully;
 * ``client query|update|stats|ping|shutdown`` — talk to a running
-  server with :class:`repro.server.ReasoningClient`.
+  server with :class:`repro.server.ReasoningClient`;
+* ``trace generate|replay|summarize`` — the workload harness
+  (:mod:`repro.workloads`): generate a seeded, zipf-skewed NDJSON
+  trace over a scenario family, replay it closed- or open-loop
+  against an in-process session/service or a live server (latency
+  percentiles, answer verification against per-version ground truth),
+  or summarize a trace file.
 
 Exit codes: 0 success, 2 engine/usage errors (printed as
 ``repro: error: ...``, no traceback), 3 truncation/disagreement, 130
@@ -72,6 +78,11 @@ __all__ = ["main", "build_parser"]
 BENCH_SCALES = ("smoke", "small", "medium")
 BENCH_SUITES = ("iwarded", "ibench", "chasebench", "dbpedia", "industrial")
 
+#: Mirror of ``repro.workloads.generate`` constants (MIXES keys and
+#: TRACE_FAMILIES), static for the same reason; pinned by the same test.
+TRACE_MIXES = ("read-heavy", "churn", "lookup-heavy")
+TRACE_FAMILIES = ("churn",)
+
 
 def _store_backend(value: str) -> str:
     """argparse type for ``--store``: validate against the registry."""
@@ -110,6 +121,22 @@ def _byte_size(value: str) -> int:
         )
     if parsed < 1:
         raise argparse.ArgumentTypeError(f"must be positive, got {value!r}")
+    return parsed
+
+
+def _replay_rate(value: str):
+    """argparse type for ``trace replay --rate``: ops/sec or 'trace'."""
+    if value == "trace":
+        return value
+    try:
+        parsed = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"not a rate: {value!r} (ops/sec number, or 'trace' to "
+            "honour the recorded schedule)"
+        )
+    if parsed <= 0:
+        raise argparse.ArgumentTypeError(f"rate must be > 0, got {parsed}")
     return parsed
 
 
@@ -456,6 +483,122 @@ def build_parser() -> argparse.ArgumentParser:
     )
     client_ops.add_parser("ping", help="liveness check; prints the version")
     client_ops.add_parser("shutdown", help="ask the server to stop")
+
+    trace = commands.add_parser(
+        "trace",
+        help="generate, replay, or summarize workload traces "
+             "(repro.workloads)",
+    )
+    trace_ops = trace.add_subparsers(dest="trace_command", required=True)
+
+    trace_generate = trace_ops.add_parser(
+        "generate",
+        help="generate a seeded, zipf-skewed NDJSON op trace over a "
+             "scenario family",
+    )
+    trace_generate.add_argument(
+        "--ops", type=_positive_int, default=500, metavar="N",
+        help="trace length in operations (default 500)",
+    )
+    trace_generate.add_argument(
+        "--mix", default="read-heavy", choices=TRACE_MIXES,
+        help="op mix: read-heavy 90/5/5, churn 25/50/25, lookup-heavy "
+             "25/5/70 (query/update/point_lookup; default: read-heavy)",
+    )
+    trace_generate.add_argument(
+        "--family", default="churn", choices=TRACE_FAMILIES,
+        help="scenario family the trace runs over (default: churn)",
+    )
+    trace_generate.add_argument(
+        "--skew", type=float, default=1.1, metavar="S",
+        help="zipfian skew exponent; 0 is uniform (default 1.1)",
+    )
+    trace_generate.add_argument("--seed", type=int, default=2019)
+    trace_generate.add_argument(
+        "--rate", type=float, default=200.0, metavar="OPS_PER_SEC",
+        help="recorded arrival schedule: op i at i/rate seconds "
+             "(default 200; only open-loop replay reads it)",
+    )
+    trace_generate.add_argument(
+        "--vertices", type=_positive_int, default=64, metavar="N",
+        help="scenario key-space size (default 64)",
+    )
+    trace_generate.add_argument(
+        "--edges", type=_positive_int, default=128, metavar="N",
+        help="scenario base edge count (default 128)",
+    )
+    trace_generate.add_argument(
+        "--clusters", type=_positive_int, default=8, metavar="N",
+        help="scenario cluster count (default 8)",
+    )
+    trace_generate.add_argument(
+        "--out", default="-", metavar="PATH",
+        help="trace file to write; '-' prints NDJSON to stdout "
+             "(default)",
+    )
+
+    trace_replay = trace_ops.add_parser(
+        "replay",
+        parents=[store_options],
+        help="replay a trace file and report latency percentiles, "
+             "throughput, and answer-verification results",
+    )
+    trace_replay.add_argument("file", type=Path, help="trace file (NDJSON)")
+    trace_replay.add_argument(
+        "--target", default="service",
+        choices=("session", "service", "server"),
+        help="what to drive: an in-process Session (lock-serialized "
+             "baseline), an in-process snapshot-isolated "
+             "ReasoningService, or a live server over sockets "
+             "(default: service)",
+    )
+    trace_replay.add_argument(
+        "--host", default="127.0.0.1",
+        help="server address for --target server",
+    )
+    trace_replay.add_argument(
+        "--port", type=int, default=7777,
+        help="server port for --target server (default 7777)",
+    )
+    trace_replay.add_argument(
+        "--workers", type=_positive_int, default=4, metavar="N",
+        help="concurrent replay workers (default 4)",
+    )
+    trace_replay.add_argument(
+        "--rate", type=_replay_rate, default=None, metavar="OPS_PER_SEC",
+        help="open-loop pacing: a target ops/sec, or 'trace' to honour "
+             "each op's recorded schedule; omit for closed-loop "
+             "(as-fast-as-possible)",
+    )
+    trace_replay.add_argument(
+        "--no-verify", action="store_true",
+        help="skip ground-truth answer verification (pure load run)",
+    )
+    trace_replay.add_argument(
+        "--method", default="auto", choices=("auto",) + ENGINES,
+        help="engine selection for replayed queries (default: auto)",
+    )
+    trace_replay.add_argument(
+        "--rewrite", default="auto", choices=REWRITES,
+        help="demand rewriting for replayed queries (default: auto)",
+    )
+    trace_replay.add_argument(
+        "--exec", dest="exec_mode", default="auto", choices=EXEC_MODES,
+        help="datalog exec dimension for replayed queries (default: auto)",
+    )
+    trace_replay.add_argument(
+        "--json", action="store_true",
+        help="print the full replay result as JSON instead of the "
+             "human summary",
+    )
+
+    trace_summarize = trace_ops.add_parser(
+        "summarize",
+        help="print a trace file's op mix, schedule, and key skew",
+    )
+    trace_summarize.add_argument(
+        "file", type=Path, help="trace file (NDJSON)"
+    )
 
     return parser
 
@@ -892,6 +1035,95 @@ def _cmd_client(args, out, stdin) -> int:
     return 0
 
 
+def _cmd_trace(args, out) -> int:
+    """The workload harness: generate / replay / summarize traces."""
+    import json
+
+    from .workloads import Trace, generate_trace
+
+    if args.trace_command == "generate":
+        trace = generate_trace(
+            ops=args.ops,
+            mix=args.mix,
+            skew=args.skew,
+            seed=args.seed,
+            rate=args.rate,
+            family=args.family,
+            vertices=args.vertices,
+            edges=args.edges,
+            clusters=args.clusters,
+        )
+        if args.out == "-":
+            out.write(trace.dumps())
+            return 0
+        trace.dump(Path(args.out))
+        summary = trace.summary()
+        print(
+            f"wrote {args.out}: {summary['ops']} op(s) "
+            f"({', '.join(f'{k}={v}' for k, v in summary['kinds'].items())}), "
+            f"{summary['duration_seconds']:.1f}s schedule, "
+            f"{summary['distinct_keys']} distinct key(s)",
+            file=out,
+        )
+        return 0
+
+    # Trace.load wraps unreadable/malformed files in TraceError, which
+    # main() renders as the one-line exit-2 diagnostic.
+    trace = Trace.load(args.file)
+
+    if args.trace_command == "summarize":
+        print(json.dumps(trace.summary(), indent=2, default=str), file=out)
+        return 0
+
+    # replay
+    from .workloads import (
+        ClientTarget,
+        ServiceTarget,
+        SessionTarget,
+        materialize_scenario,
+        replay_trace,
+    )
+
+    engine_opts = dict(
+        method=args.method, rewrite=args.rewrite, exec_mode=args.exec_mode
+    )
+    if args.target == "server":
+        try:
+            target = ClientTarget(args.host, args.port, **engine_opts)
+        except OSError as error:
+            print(
+                f"repro: error: cannot connect to {args.host}:{args.port}: "
+                f"{error}",
+                file=sys.stderr,
+            )
+            return 2
+        scenario = None if args.no_verify else materialize_scenario(trace)
+    else:
+        scenario = materialize_scenario(trace)
+        factory = (
+            SessionTarget if args.target == "session" else ServiceTarget
+        )
+        target = factory.for_scenario(
+            scenario, store=_resolve_store(args), **engine_opts
+        )
+    try:
+        result = replay_trace(
+            trace,
+            target,
+            workers=args.workers,
+            rate=args.rate,
+            verify=not args.no_verify,
+            scenario=scenario,
+        )
+    finally:
+        target.close()
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2, default=str), file=out)
+    else:
+        print(result.describe(), file=out)
+    return 0 if result.ok else 3
+
+
 def _cmd_stats(args, out) -> int:
     from .benchsuite import classify_corpus, default_corpus
 
@@ -924,6 +1156,7 @@ def _dispatch(args, out, stdin) -> int:
         "bench": _cmd_bench,
         "rewrite": _cmd_rewrite,
         "serve": _cmd_serve,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args, out)
 

@@ -10,6 +10,20 @@ pipelining via ``id``; this client keeps to strict request/response).
 Thread-safe: a lock serializes frames, so one client may be shared —
 though one connection per thread is the better pattern, and what the
 concurrency benchmark does.
+
+Two resilience affordances for long-lived callers (the replay driver
+holds connections across thousands of ops):
+
+* every operation takes ``timeout=`` to bound *that* round-trip —
+  a slow query times out without re-arming the whole connection;
+* a request that hits a dead socket (``BrokenPipeError``,
+  ``ConnectionResetError``, a clean server-side close) is retried
+  exactly once on a fresh connection.  One retry is safe for this
+  protocol's idempotent reads and at-most-once-delivered writes: a
+  request that *died on send* never reached the server, and one whose
+  *response was lost* surfaces as ``ConnectionError`` to the caller on
+  the second failure rather than being silently re-applied.  Timeouts
+  never trigger reconnection — the request may still be in flight.
 """
 
 from __future__ import annotations
@@ -74,22 +88,65 @@ class ReasoningClient:
     ):
         self.host = host
         self.port = port
+        self.timeout = timeout
+        self.reconnects = 0
         self._lock = threading.Lock()
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._connect()
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
         self._reader = self._sock.makefile("r", encoding="utf-8")
 
     # -- plumbing ----------------------------------------------------------
 
-    def call(self, request: dict) -> dict:
-        """One request/response round-trip; the raw response dict."""
-        frame = json.dumps(request, separators=(",", ":")) + "\n"
+    def call(
+        self, request: dict, *, timeout: Optional[float] = None
+    ) -> dict:
+        """One request/response round-trip; the raw response dict.
+
+        ``timeout`` bounds this round-trip only (seconds; ``None``
+        keeps the connection default).  A dead socket is retried once
+        on a fresh connection; a timeout is not (the request may still
+        be executing server-side), surfacing as ``TimeoutError``.
+        """
+        frame = (json.dumps(request, separators=(",", ":")) + "\n").encode(
+            "utf-8"
+        )
         with self._lock:
-            self._sock.sendall(frame.encode("utf-8"))
-            line = self._reader.readline()
-        if not line:
-            raise ConnectionError(
-                f"server at {self.host}:{self.port} closed the connection"
-            )
+            for attempt in (0, 1):
+                try:
+                    if timeout is not None:
+                        self._sock.settimeout(timeout)
+                    try:
+                        self._sock.sendall(frame)
+                        line = self._reader.readline()
+                    finally:
+                        if timeout is not None:
+                            self._sock.settimeout(self.timeout)
+                    if line:
+                        break
+                    raise ConnectionError(
+                        f"server at {self.host}:{self.port} closed the "
+                        "connection"
+                    )
+                except socket.timeout as error:
+                    # socket.timeout is an OSError, *not* a
+                    # ConnectionError: never reconnect-and-resend here.
+                    raise TimeoutError(
+                        f"no response from {self.host}:{self.port} within "
+                        f"{timeout if timeout is not None else self.timeout}s"
+                    ) from error
+                except ConnectionError:
+                    if attempt:
+                        raise
+                    try:
+                        self.close()
+                    except OSError:
+                        pass
+                    self._connect()
+                    self.reconnects += 1
         response = json.loads(line)
         if not response.get("ok", False):
             raise ServerError(
@@ -112,9 +169,9 @@ class ReasoningClient:
 
     # -- operations --------------------------------------------------------
 
-    def ping(self) -> int:
+    def ping(self, *, timeout: Optional[float] = None) -> int:
         """Round-trip liveness check; the current EDB version."""
-        return self.call({"op": "ping"})["version"]
+        return self.call({"op": "ping"}, timeout=timeout)["version"]
 
     def query(
         self,
@@ -124,6 +181,7 @@ class ReasoningClient:
         rewrite: str = "auto",
         exec_mode: str = "auto",
         first: Optional[int] = None,
+        timeout: Optional[float] = None,
         **engine_kwargs,
     ) -> RemoteAnswers:
         request = {"op": "query", "query": query}
@@ -136,18 +194,27 @@ class ReasoningClient:
         if first is not None:
             request["first"] = first
         request.update(engine_kwargs)
-        return RemoteAnswers(self.call(request))
+        return RemoteAnswers(self.call(request, timeout=timeout))
 
-    def update(self, changes: Union[str, Iterable[str]]) -> dict:
+    def update(
+        self,
+        changes: Union[str, Iterable[str]],
+        *,
+        timeout: Optional[float] = None,
+    ) -> dict:
         """Apply a change batch (``+atom`` / ``-atom`` lines); the
         server's :class:`~repro.server.service.UpdateResult` payload."""
         if not isinstance(changes, str):
             changes = "\n".join(changes)
-        return self.call({"op": "update", "changes": changes})
+        return self.call(
+            {"op": "update", "changes": changes}, timeout=timeout
+        )
 
-    def stats(self) -> dict:
-        return self.call({"op": "stats"})["stats"]
+    def stats(self, *, timeout: Optional[float] = None) -> dict:
+        return self.call({"op": "stats"}, timeout=timeout)["stats"]
 
-    def shutdown(self) -> bool:
+    def shutdown(self, *, timeout: Optional[float] = None) -> bool:
         """Ask the server to stop (acknowledged before it drains)."""
-        return self.call({"op": "shutdown"}).get("stopping", False)
+        return self.call({"op": "shutdown"}, timeout=timeout).get(
+            "stopping", False
+        )

@@ -57,7 +57,7 @@ def program_fingerprint(compiled) -> str:
     if source:
         digest.update(source.encode())
     else:
-        for rule in compiled.program.rules:
+        for rule in compiled.program:
             digest.update(repr(rule).encode())
             digest.update(b"\n")
     return digest.hexdigest()

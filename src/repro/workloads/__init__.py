@@ -1,0 +1,48 @@
+"""repro.workloads — trace-record/replay load harness.
+
+Reproducible, skew-shaped traffic for the reasoning engine: a versioned
+NDJSON trace schema (:mod:`.trace`), seeded zipfian generators over
+benchsuite key spaces (:mod:`.generate`), closed/open-loop replay
+drivers with per-op latency accounting and ground-truth answer
+verification (:mod:`.replay`), and the shared log-bucket latency
+histogram (:mod:`.latency`) the benchmarks report percentiles from.
+
+``python -m repro trace generate|replay|summarize`` is the CLI surface;
+``benchmarks/bench_trace_replay.py`` the measurement matrix.
+"""
+
+from .generate import (
+    MIXES,
+    TRACE_FAMILIES,
+    ZipfianSampler,
+    generate_trace,
+    materialize_scenario,
+)
+from .latency import LatencyHistogram
+from .replay import (
+    ClientTarget,
+    ReplayResult,
+    ServiceTarget,
+    SessionTarget,
+    replay_trace,
+)
+from .trace import OP_KINDS, TRACE_SCHEMA, Trace, TraceError, TraceOp
+
+__all__ = [
+    "ClientTarget",
+    "LatencyHistogram",
+    "MIXES",
+    "OP_KINDS",
+    "ReplayResult",
+    "ServiceTarget",
+    "SessionTarget",
+    "TRACE_FAMILIES",
+    "TRACE_SCHEMA",
+    "Trace",
+    "TraceError",
+    "TraceOp",
+    "ZipfianSampler",
+    "generate_trace",
+    "materialize_scenario",
+    "replay_trace",
+]

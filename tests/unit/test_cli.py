@@ -104,6 +104,14 @@ class TestBench:
         assert BENCH_SCALES == tuple(SCALES)
         assert BENCH_SUITES == SUITES
 
+    def test_trace_mirrors_match_workloads(self):
+        from repro.cli import TRACE_FAMILIES, TRACE_MIXES
+        from repro.workloads import MIXES
+        from repro.workloads import TRACE_FAMILIES as WORKLOAD_FAMILIES
+
+        assert TRACE_MIXES == tuple(MIXES)
+        assert TRACE_FAMILIES == WORKLOAD_FAMILIES
+
     def test_matrix_subcommand_writes_artifact(self, tmp_path):
         import json
 
@@ -155,6 +163,101 @@ class TestBench:
         )
         assert code == 3
         assert "no successful cells" in output
+
+
+class TestTrace:
+    """The workload-harness subcommand: generate / replay / summarize."""
+
+    GENERATE = [
+        "trace", "generate", "--ops", "40", "--seed", "11",
+        "--vertices", "16", "--edges", "32", "--clusters", "2",
+    ]
+
+    def test_generate_to_stdout_is_ndjson(self):
+        import json
+
+        code, output = run(self.GENERATE)
+        assert code == 0
+        lines = output.strip().splitlines()
+        assert len(lines) == 41  # header + one line per op
+        header = json.loads(lines[0])
+        assert header["schema"] == "repro/trace/v1"
+        assert json.loads(lines[1])["index"] == 0
+
+    def test_generate_to_file_then_summarize(self, tmp_path):
+        import json
+
+        path = tmp_path / "t.ndjson"
+        code, output = run(self.GENERATE + ["--out", str(path)])
+        assert code == 0
+        assert "40 op(s)" in output
+        code, output = run(["trace", "summarize", str(path)])
+        assert code == 0
+        summary = json.loads(output)
+        assert summary["ops"] == 40
+        assert summary["schema"] == "repro/trace/v1"
+
+    def test_generate_is_deterministic(self):
+        _, first = run(self.GENERATE)
+        _, second = run(self.GENERATE)
+        assert first == second
+
+    def test_replay_session_and_service(self, tmp_path):
+        path = tmp_path / "t.ndjson"
+        run(self.GENERATE + ["--out", str(path)])
+        for target in ("session", "service"):
+            code, output = run(
+                ["trace", "replay", str(path), "--target", target,
+                 "--workers", "2"]
+            )
+            assert code == 0, output
+            assert "0 mismatch(es)" in output
+            assert "0 error(s)" in output
+
+    def test_replay_json_output(self, tmp_path):
+        import json
+
+        path = tmp_path / "t.ndjson"
+        run(self.GENERATE + ["--out", str(path)])
+        code, output = run(
+            ["trace", "replay", str(path), "--json", "--workers", "2"]
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["ok"] is True
+        assert payload["ops_run"] == 40
+        assert "p99_ms" in payload["latency"]["all"]
+
+    def test_replay_open_loop(self, tmp_path):
+        path = tmp_path / "t.ndjson"
+        run(self.GENERATE + ["--out", str(path), "--rate", "2000"])
+        code, output = run(
+            ["trace", "replay", str(path), "--rate", "trace",
+             "--workers", "2"]
+        )
+        assert code == 0
+        assert "lateness" in output
+
+    def test_replay_missing_file_errors(self, tmp_path):
+        code, _ = run(
+            ["trace", "replay", str(tmp_path / "absent.ndjson")]
+        )
+        assert code == 2  # one-line diagnostic, no traceback
+
+    def test_rejects_bad_rate_and_mix(self):
+        with pytest.raises(SystemExit):
+            run(["trace", "generate", "--mix", "write-only"])
+        with pytest.raises(SystemExit):
+            run(["trace", "replay", "t.ndjson", "--rate", "-2"])
+
+    def test_replay_server_connection_refused(self, tmp_path):
+        path = tmp_path / "t.ndjson"
+        run(self.GENERATE + ["--out", str(path)])
+        code, _ = run(
+            ["trace", "replay", str(path), "--target", "server",
+             "--port", "1"]  # nothing listens on port 1
+        )
+        assert code == 2
 
 
 class TestQuery:

@@ -378,6 +378,68 @@ class TestDaemonAndClient:
         assert server.stopping
 
 
+class TestClientResilience:
+    def test_reconnects_once_on_dead_socket(self, server):
+        import socket as socket_module
+
+        host, port = server.address
+        with ReasoningClient(host, port) as client:
+            version = client.ping()
+            # Kill the connection out from under the client; the next
+            # call must transparently reconnect and succeed.
+            client._sock.shutdown(socket_module.SHUT_RDWR)
+            assert client.ping() == version
+            assert client.reconnects == 1
+            # The replacement connection carries real traffic.
+            assert client.query(BOUND_QUERY).answers == (
+                ("b",), ("c",), ("d",),
+            )
+            assert client.reconnects == 1
+
+    def test_second_failure_propagates(self, server):
+        import socket as socket_module
+
+        host, port = server.address
+        client = ReasoningClient(host, port)
+        client.ping()
+        # Dead connection AND no listener to reconnect to: the single
+        # reconnect attempt itself fails, and the error surfaces
+        # instead of looping.
+        server.close()
+        client._sock.shutdown(socket_module.SHUT_RDWR)
+        with pytest.raises((ConnectionError, OSError)):
+            client.ping()
+
+    def test_per_request_timeout_raises_without_reconnect(self):
+        import socket as socket_module
+
+        # A listener that accepts but never replies: the bounded call
+        # must raise TimeoutError — and must NOT reconnect-and-resend,
+        # because the request may still be executing server-side.
+        silent = socket_module.socket()
+        silent.bind(("127.0.0.1", 0))
+        silent.listen(1)
+        host, port = silent.getsockname()
+        try:
+            client = ReasoningClient(host, port, timeout=10.0)
+            with pytest.raises(TimeoutError):
+                client.ping(timeout=0.2)
+            assert client.reconnects == 0
+            # The connection default is restored after a bounded call.
+            assert client._sock.gettimeout() == 10.0
+            client.close()
+        finally:
+            silent.close()
+
+    def test_timeout_threads_through_operations(self, server):
+        host, port = server.address
+        with ReasoningClient(host, port) as client:
+            assert client.ping(timeout=30) == 0
+            assert client.query(BOUND_QUERY, timeout=30).answers
+            assert client.update("+edge(x, y).", timeout=30)["version"] == 1
+            assert client.stats(timeout=30)["updates_total"] == 1
+
+
 class TestColumnarProbeConcurrency:
     """Regression: the lazy index build and LRU probe cache used to be
     unsynchronized — two threads probing the same cold (predicate,

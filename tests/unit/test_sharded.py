@@ -456,3 +456,18 @@ class TestStateDirectory:
         assert program_fingerprint(first) != program_fingerprint(second)
         again = compile_program(program, source="t(X, Y) :- e(X, Y).")
         assert program_fingerprint(first) == program_fingerprint(again)
+
+    def test_fingerprint_of_in_memory_program(self):
+        # No source text (the embeddable path: benchmarks and the
+        # workload harness hand over generated Program objects) — the
+        # fallback digests the rules themselves.
+        from repro.api import compile_program
+
+        program, _ = parse_program("t(X, Y) :- e(X, Y).")
+        other, _ = parse_program("t(X, Y) :- e(Y, X).")
+        first = compile_program(program)
+        second = compile_program(other)
+        assert program_fingerprint(first) != program_fingerprint(second)
+        assert program_fingerprint(first) == program_fingerprint(
+            compile_program(program)
+        )

@@ -1,0 +1,368 @@
+"""Unit tests for :mod:`repro.workloads` — the trace replay harness."""
+
+import math
+import socket
+
+import pytest
+
+from repro.server import ReasoningServer, ReasoningService
+from repro.workloads import (
+    MIXES,
+    OP_KINDS,
+    TRACE_SCHEMA,
+    ClientTarget,
+    LatencyHistogram,
+    ServiceTarget,
+    SessionTarget,
+    Trace,
+    TraceError,
+    TraceOp,
+    ZipfianSampler,
+    generate_trace,
+    materialize_scenario,
+    replay_trace,
+)
+
+SMALL = dict(vertices=16, edges=32, clusters=2)
+
+
+class TestLatencyHistogram:
+    def test_empty(self):
+        hist = LatencyHistogram()
+        assert hist.count == 0
+        assert hist.p50 == 0.0
+        assert hist.summary()["count"] == 0
+
+    def test_single_sample_is_every_percentile(self):
+        hist = LatencyHistogram.of([0.25])
+        assert hist.p50 == hist.p99 == 0.25
+        assert hist.min == hist.max == 0.25
+
+    def test_percentiles_bracket_the_samples(self):
+        samples = [i / 1000 for i in range(1, 1001)]  # 1ms .. 1s
+        hist = LatencyHistogram.of(samples)
+        assert hist.count == 1000
+        # Log buckets at 2^(1/8) growth: ≤ ~9% relative error.
+        assert hist.p50 == pytest.approx(0.5, rel=0.1)
+        assert hist.p99 == pytest.approx(0.99, rel=0.1)
+        assert hist.min == pytest.approx(0.001)
+        assert hist.max == pytest.approx(1.0)
+        assert hist.mean == pytest.approx(sum(samples) / 1000, rel=0.1)
+
+    def test_percentiles_clamped_to_observed_range(self):
+        hist = LatencyHistogram.of([0.010, 0.011, 0.012])
+        assert hist.min <= hist.p50 <= hist.max
+        assert hist.min <= hist.p99 <= hist.max
+
+    def test_sub_resolution_and_negative_samples(self):
+        hist = LatencyHistogram.of([0.0, -1.0, 1e-9])
+        assert hist.count == 3
+        assert hist.min == 0.0
+
+    def test_merge(self):
+        left = LatencyHistogram.of([0.001] * 50)
+        right = LatencyHistogram.of([0.1] * 50)
+        left.merge(right)
+        assert left.count == 100
+        assert left.p50 == pytest.approx(0.001, rel=0.1)
+        assert left.p99 == pytest.approx(0.1, rel=0.1)
+
+    def test_merge_rejects_different_geometry(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().merge(LatencyHistogram(base=1e-3))
+
+    def test_throughput(self):
+        hist = LatencyHistogram.of([0.01] * 200)
+        assert hist.throughput(4.0) == pytest.approx(50.0)
+        assert hist.throughput(0.0) == 0.0
+
+
+class TestZipfianSampler:
+    def test_same_seed_same_stream(self):
+        keys = [f"k{i}" for i in range(50)]
+        a = ZipfianSampler(keys, s=1.2, seed=7)
+        b = ZipfianSampler(keys, s=1.2, seed=7)
+        assert [a.sample() for _ in range(200)] == [
+            b.sample() for _ in range(200)
+        ]
+
+    def test_rank_one_dominates(self):
+        keys = [f"k{i}" for i in range(100)]
+        sampler = ZipfianSampler(keys, s=1.3, seed=11)
+        draws = [sampler.sample() for _ in range(3000)]
+        top = draws.count("k0") / len(draws)
+        expected = sampler.expected_mass(1)
+        # 3000 draws: binomial σ ≈ sqrt(p(1-p)/n) < 0.01; 5σ slack.
+        assert abs(top - expected) < 5 * math.sqrt(
+            expected * (1 - expected) / 3000
+        )
+
+    def test_zero_skew_is_uniform_mass(self):
+        sampler = ZipfianSampler(["a", "b", "c", "d"], s=0.0, seed=1)
+        assert sampler.expected_mass(1) == pytest.approx(0.25)
+        assert sampler.expected_mass(4) == pytest.approx(0.25)
+
+    def test_rejects_empty_keys_and_negative_skew(self):
+        with pytest.raises(ValueError):
+            ZipfianSampler([], seed=1)
+        with pytest.raises(ValueError):
+            ZipfianSampler(["a"], s=-1.0, seed=1)
+
+
+class TestTraceSchema:
+    def test_round_trip_identity(self):
+        trace = generate_trace(ops=40, seed=3, **SMALL)
+        assert Trace.loads(trace.dumps()) == trace
+
+    def test_dump_load_file(self, tmp_path):
+        trace = generate_trace(ops=25, seed=3, **SMALL)
+        path = tmp_path / "t.ndjson"
+        trace.dump(path)
+        assert Trace.load(path) == trace
+
+    def test_header_carries_schema(self):
+        trace = generate_trace(ops=5, seed=3, **SMALL)
+        first_line = trace.dumps().splitlines()[0]
+        assert TRACE_SCHEMA in first_line
+
+    def test_rejects_unknown_schema(self):
+        trace = generate_trace(ops=5, seed=3, **SMALL)
+        lines = trace.dumps().splitlines()
+        lines[0] = lines[0].replace("repro/trace/v1", "repro/trace/v999")
+        with pytest.raises(TraceError):
+            Trace.loads("\n".join(lines))
+
+    def test_rejects_out_of_order_ops(self):
+        trace = generate_trace(ops=5, seed=3, **SMALL)
+        lines = trace.dumps().splitlines()
+        lines[1], lines[2] = lines[2], lines[1]
+        with pytest.raises(TraceError):
+            Trace.loads("\n".join(lines))
+
+    def test_rejects_unknown_fields_and_kinds(self):
+        with pytest.raises(TraceError):
+            TraceOp.from_record(
+                {"index": 0, "at": 0.0, "kind": "query", "query": "q.",
+                 "bogus": 1}
+            )
+        with pytest.raises(TraceError):
+            TraceOp.from_record({"index": 0, "at": 0.0, "kind": "delete"})
+
+    def test_update_requires_changes_query_requires_query(self):
+        with pytest.raises(TraceError):
+            TraceOp.from_record({"index": 0, "at": 0.0, "kind": "update"})
+        with pytest.raises(TraceError):
+            TraceOp.from_record({"index": 0, "at": 0.0, "kind": "query"})
+
+    def test_validate_catches_unparseable_ops(self):
+        bad = Trace(
+            ops=(
+                TraceOp(index=0, at=0.0, kind="query", query="not a query"),
+            ),
+            meta={"schema": TRACE_SCHEMA},
+        )
+        with pytest.raises(TraceError):
+            bad.validate()
+
+    def test_summary(self):
+        trace = generate_trace(ops=60, seed=3, **SMALL)
+        summary = trace.summary()
+        assert summary["ops"] == 60
+        assert set(summary["kinds"]) <= set(OP_KINDS)
+        assert summary["distinct_keys"] >= 1
+        assert summary["top_keys"][0]["count"] >= summary["top_keys"][-1][
+            "count"
+        ]
+
+
+class TestGenerate:
+    def test_same_seed_byte_identical(self):
+        a = generate_trace(ops=120, seed=9, **SMALL)
+        b = generate_trace(ops=120, seed=9, **SMALL)
+        assert a.dumps() == b.dumps()
+
+    def test_different_seed_differs(self):
+        a = generate_trace(ops=120, seed=9, **SMALL)
+        b = generate_trace(ops=120, seed=10, **SMALL)
+        assert a.dumps() != b.dumps()
+
+    def test_mix_fractions_roughly_honoured(self):
+        trace = generate_trace(ops=600, mix="churn", seed=5, **SMALL)
+        kinds = trace.summary()["kinds"]
+        assert kinds["update"] / 600 == pytest.approx(
+            MIXES["churn"]["update"], abs=0.1
+        )
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            generate_trace(ops=0, **SMALL)
+        with pytest.raises(ValueError):
+            generate_trace(ops=5, mix="write-only", **SMALL)
+        with pytest.raises(ValueError):
+            generate_trace(ops=5, family="dbpedia", **SMALL)
+
+    def test_updates_always_effective(self):
+        # Stateful generation: every retract hits a live edge, every
+        # insert an absent one — so replay admits every batch and the
+        # trace-order → version mapping stays exact.
+        from repro.incremental import ChangeSet
+
+        trace = generate_trace(ops=200, mix="churn", seed=13, **SMALL)
+        scenario = materialize_scenario(trace)
+        state = {
+            (str(a.args[0]), str(a.args[1]))
+            for a in scenario.database
+            if a.predicate == "e"
+        }
+        updates = 0
+        for op in trace.ops:
+            if op.kind != "update":
+                continue
+            updates += 1
+            inserts, retracts = ChangeSet.parse(op.changes).net()
+            for atom in retracts:
+                pair = (str(atom.args[0]), str(atom.args[1]))
+                assert pair in state
+                state.discard(pair)
+            for atom in inserts:
+                pair = (str(atom.args[0]), str(atom.args[1]))
+                assert pair not in state
+                state.add(pair)
+        assert updates > 0
+
+    def test_materialize_requires_generator_record(self):
+        trace = generate_trace(ops=5, seed=3, **SMALL)
+        stripped = Trace(
+            ops=trace.ops,
+            meta={"schema": TRACE_SCHEMA},
+        )
+        with pytest.raises(TraceError):
+            materialize_scenario(stripped)
+
+
+class TestReplay:
+    def test_session_target_verifies(self):
+        trace = generate_trace(ops=60, mix="churn", seed=21, **SMALL)
+        scenario = materialize_scenario(trace)
+        result = replay_trace(
+            trace, SessionTarget.for_scenario(scenario), workers=2
+        )
+        assert result.ok, (result.mismatches, result.errors)
+        assert result.ops_run == 60
+        assert result.verified > 0
+        assert result.latency["all"].count == 60
+
+    def test_service_target_concurrent(self):
+        trace = generate_trace(ops=60, mix="churn", seed=22, **SMALL)
+        result = replay_trace(
+            trace,
+            ServiceTarget.for_scenario(materialize_scenario(trace)),
+            workers=4,
+        )
+        assert result.ok, (result.mismatches, result.errors)
+        assert result.mode == "closed"
+        assert result.throughput > 0
+
+    def test_open_loop_records_lateness(self):
+        trace = generate_trace(ops=30, seed=23, rate=500.0, **SMALL)
+        result = replay_trace(
+            trace,
+            ServiceTarget.for_scenario(materialize_scenario(trace)),
+            workers=2,
+            rate="trace",
+        )
+        assert result.ok
+        assert result.mode == "open"
+        assert result.lateness.count == 30
+
+    def test_open_loop_numeric_rate(self):
+        trace = generate_trace(ops=20, seed=24, **SMALL)
+        result = replay_trace(
+            trace,
+            ServiceTarget.for_scenario(materialize_scenario(trace)),
+            workers=2,
+            rate=1000.0,
+        )
+        assert result.ok
+        assert result.rate == 1000.0
+
+    def test_server_target_over_sockets(self):
+        trace = generate_trace(ops=40, mix="churn", seed=25, **SMALL)
+        scenario = materialize_scenario(trace)
+        service = ReasoningService(
+            scenario.program, facts=scenario.database
+        )
+        server = ReasoningServer(service, port=0)
+        host, port = server.address
+        server.serve_in_thread()
+        target = ClientTarget(host, port)
+        try:
+            result = replay_trace(trace, target, workers=3)
+        finally:
+            target.close()
+            server.shutdown_async()
+            server.close()
+        assert result.ok, (result.mismatches, result.errors)
+        assert result.target == "server"
+
+    def test_no_verify_skips_ground_truth(self):
+        trace = generate_trace(ops=20, seed=26, **SMALL)
+        result = replay_trace(
+            trace,
+            ServiceTarget.for_scenario(materialize_scenario(trace)),
+            verify=False,
+        )
+        assert result.ok
+        assert result.verified == 0
+
+    def test_detects_wrong_answers(self):
+        # A target that lies about one answer must be caught.
+        trace = generate_trace(ops=30, seed=27, **SMALL)
+        scenario = materialize_scenario(trace)
+        inner = ServiceTarget.for_scenario(scenario)
+
+        class LyingTarget:
+            name = "liar"
+
+            def worker(self):
+                return self
+
+            def baseline_version(self):
+                return inner.baseline_version()
+
+            def query(self, text):
+                answers, version = inner.query(text)
+                return answers + (("bogus",),), version
+
+            def update(self, changes):
+                return inner.update(changes)
+
+            def close(self):
+                pass
+
+        result = replay_trace(trace, LyingTarget())
+        assert not result.ok
+        assert result.mismatches
+
+    def test_rejects_bad_arguments(self):
+        trace = generate_trace(ops=5, seed=3, **SMALL)
+        target = ServiceTarget.for_scenario(materialize_scenario(trace))
+        with pytest.raises(ValueError):
+            replay_trace(trace, target, workers=0)
+        with pytest.raises(ValueError):
+            replay_trace(trace, target, rate=-5)
+        with pytest.raises(ValueError):
+            replay_trace(trace, target, rate="yesterday")
+
+    def test_result_serializes(self):
+        trace = generate_trace(ops=15, seed=28, **SMALL)
+        result = replay_trace(
+            trace,
+            ServiceTarget.for_scenario(materialize_scenario(trace)),
+        )
+        payload = result.as_dict()
+        assert payload["ok"] is True
+        assert payload["ops_run"] == 15
+        assert "all" in payload["latency"]
+        assert "p99_ms" in payload["latency"]["all"]
+        assert "ops/s" in result.describe()
