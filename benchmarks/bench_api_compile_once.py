@@ -146,7 +146,7 @@ def test_bench_api_compile_once(report):
         ],
         notes=(
             f"first answer after {first_answer_seconds * 1e3:.2f} ms on a "
-            f"cold stream (full set: "
+            "cold stream (full set: "
             f"{(first_answer_seconds + rest_seconds) * 1e3:.2f} ms); "
             f"classification/stratification ran {compiled.analysis_runs} "
             f"time(s) for {len(queries) + 1} queries",

@@ -141,7 +141,7 @@ def test_e9_amortization_crossover(benchmark, report):
           f"{passes:.1f}")],
         notes=(
             f"The one-off 2-hop build equals ~{crossover:.0f} DFS "
-            f"certainty checks; a serving workload re-asking the "
+            "certainty checks; a serving workload re-asking the "
             f"{len(pairs)}-tuple space amortizes it within "
             f"{passes:.1f} passes, after which every check is "
             "label-only (zero traversal).",

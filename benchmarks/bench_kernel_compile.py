@@ -213,7 +213,7 @@ def test_kernel_compile_speedup_and_parity(report):
         for cell in (col_kernel, col_interp, sh_kernel, inst_interp)
     }
     assert len(digests) == 1, (
-        f"kernel and interpreter disagree on the closure: "
+        "kernel and interpreter disagree on the closure: "
         f"{[c['digest'] for c in (col_kernel, col_interp, sh_kernel, inst_interp)]}"
     )
     assert magic_kernel["digest"] == magic_interp["digest"]

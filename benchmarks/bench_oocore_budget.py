@@ -215,7 +215,7 @@ def test_oocore_budget_and_warm_start(benchmark, report):
     # The scale really is out-of-core relative to the budget.
     assert pressure >= MIN_PRESSURE, (
         f"working set only {pressure:.1f}x the budget — raise the scale "
-        f"or lower the budget"
+        "or lower the budget"
     )
     # Budget adherence (one-shard slack is the documented overshoot).
     assert resident <= BUDGET + shard_slack, (

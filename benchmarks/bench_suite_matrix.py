@@ -45,7 +45,7 @@ def test_bench_suite_matrix(report):
         suite_report.summary_rows(),
         notes=(
             f"{suite_report.agreement_groups_checked} (scenario, query) "
-            f"group(s) cross-checked for exact answer agreement; "
+            "group(s) cross-checked for exact answer agreement; "
             f"{len(suite_report.disagreements)} disagreement(s); "
             "resident = memory_report().total_bytes of the cell's "
             "materialization (fixpoint store, or EDB + star abstraction "

@@ -12,7 +12,6 @@ Run:  python examples/owl2ql_reasoning.py
 
 from repro import parse_program, parse_query, certain_answers
 from repro.analysis import wardedness_report
-from repro.benchsuite.dbpedia import example_33_program
 
 
 ONTOLOGY = """
@@ -64,13 +63,13 @@ def main() -> None:
     # alice must be enrolled in *something* (an invented witness), and
     # that something is course-like.
     enrolled = parse_query("q() :- triple(alice, enrolledIn, W).")
-    print(f"  alice enrolledIn some W:        "
+    print("  alice enrolledIn some W:        "
           f"{certain_answers(enrolled, database, program) == {()}}")
     course = parse_query("q() :- triple(alice, enrolledIn, W), type(W, course_like).")
-    print(f"  ... and W is course-like:       "
+    print("  ... and W is course-like:       "
           f"{certain_answers(course, database, program) == {()}}")
     named = parse_query("q(W) :- triple(alice, enrolledIn, W).")
-    print(f"  named witnesses (none certain): "
+    print("  named witnesses (none certain): "
           f"{certain_answers(named, database, program)}")
 
 

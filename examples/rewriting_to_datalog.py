@@ -33,9 +33,9 @@ def main() -> None:
     rewriting = pwl_to_datalog(query, program, width_bound=3)
     print(f"rewriting: {rewriting.states} canonical labels, "
           f"{rewriting.rules} rules, complete={rewriting.complete}")
-    print(f"output program is full (Datalog):      "
+    print("output program is full (Datalog):      "
           f"{rewriting.program.is_full()}")
-    print(f"output program is piece-wise linear:   "
+    print("output program is piece-wise linear:   "
           f"{is_piecewise_linear(rewriting.program)}")
 
     print("\nsample of generated rules:")

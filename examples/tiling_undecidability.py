@@ -12,7 +12,6 @@ Run:  python examples/tiling_undecidability.py
 from repro.analysis import is_piecewise_linear, is_warded, wardedness_report
 from repro.tiling import (
     TilingSystem,
-    build_reduction,
     find_tiling,
     reduction_holds_within,
     tiling_program,

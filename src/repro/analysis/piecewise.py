@@ -17,7 +17,6 @@ join ordering.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
 
 from ..core.atoms import Atom
 from ..core.program import Program

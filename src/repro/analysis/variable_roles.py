@@ -17,7 +17,7 @@ classification: they are their own fixed values.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Set
+from typing import Dict, Set
 
 from ..core.atoms import Position
 from ..core.program import Program

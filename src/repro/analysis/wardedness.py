@@ -13,7 +13,7 @@ witness report naming a ward for every TGD (or the reason none exists).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..core.atoms import Atom, atoms_variables
 from ..core.program import Program

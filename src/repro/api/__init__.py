@@ -6,8 +6,11 @@ operators; this package is that shape for the reproduction:
 * :class:`Session` — owns a fact-storage backend and a shared EDB,
   reusable across many queries; caches compiled programs, star
   abstractions, and saturated materializations;
-* :class:`CompiledProgram` — parse → classify → stratify → plan exactly
-  once (``compiled.analysis_runs == 1`` no matter how many queries run);
+* :class:`CompiledProgram` — parse → classify → stratify → lint → plan
+  exactly once (``compiled.analysis_runs == 1`` and
+  ``compiled.lint_runs == 1`` no matter how many queries run); programs
+  with error-severity diagnostics are rejected at planning time with a
+  :class:`~repro.lint.LintError`;
 * :class:`Planner` / :class:`QueryPlan` — engine auto-dispatch as an
   inspectable artifact with a stable ``explain()``;
 * :class:`AnswerStream` — a pull-based, replayable iterator of certain
@@ -32,6 +35,7 @@ The legacy entry points (``certain_answers``, ``chase_answers``,
 remain as thin wrappers over this layer.
 """
 
+from ..lint import LintError
 from .execution import execute_plan
 from .planner import ENGINES, EXEC_MODES, REWRITES, Planner, QueryPlan
 from .program import CompiledProgram, ProgramAnalysis, compile_program
@@ -39,6 +43,7 @@ from .session import Session
 from .stream import AnswerStream, StreamStats
 
 __all__ = [
+    "LintError",
     "Session",
     "CompiledProgram",
     "ProgramAnalysis",

@@ -159,6 +159,7 @@ class QueryPlan:
             f"  exec    : {self.exec_note}",
             f"  store   : {self.store_name}",
             f"  update  : {self.maintenance}",
+            f"  lint    : {self.program.diagnostics.summary()}",
             "  why:",
         ]
         lines.extend(f"    - {reason}" for reason in self.reasons)
@@ -244,6 +245,13 @@ class Planner:
         """
         compiled = compile_program(compiled)
         validate_store(store)
+        if compiled.program.has_negation():
+            raise ValueError(
+                "the evaluation engines cover positive Datalog± only; "
+                "this program carries negated literals (see "
+                "'python -m repro lint' for the static checks and "
+                "repro.datalog.negation for stratified evaluation)"
+            )
         resolved, reasons = self.resolve(compiled, method)
         if rewrite not in REWRITES:
             raise ValueError(

@@ -18,6 +18,7 @@ from ..core.program import Program
 from ..core.tgd import TGD
 from ..datalog.strata import Strata, compute_strata
 from ..engine.optimizer import JoinOptimizer, JoinPlan
+from ..lint import FactSummary, ProgramDiagnostics, run_lint
 
 __all__ = ["CompiledProgram", "ProgramAnalysis", "compile_program"]
 
@@ -69,11 +70,16 @@ class CompiledProgram:
     """A program plus everything derivable from it alone.
 
     Construction is cheap; the analysis (classification, levels,
-    strata) and the per-rule join plans are computed lazily, each
-    exactly once, and shared by every query planned against this
-    object.  ``analysis_runs`` counts how many times the analysis
-    actually executed — the compile-once guarantee is testable as
-    ``analysis_runs == 1`` after any number of queries.
+    strata), the lint report, and the per-rule join plans are computed
+    lazily, each exactly once, and shared by every query planned
+    against this object.  ``analysis_runs`` counts how many times the
+    analysis actually executed — the compile-once guarantee is testable
+    as ``analysis_runs == 1`` after any number of queries — and
+    ``lint_runs`` gives the same guarantee for the lint passes.
+
+    ``facts`` (the program's parsed database, or a pre-built
+    :class:`~repro.lint.FactSummary`) enables the EDB-aware lint
+    passes; only the compact summary is retained, never the facts.
     """
 
     def __init__(
@@ -82,14 +88,20 @@ class CompiledProgram:
         *,
         name: str = "",
         source: Optional[str] = None,
+        facts=None,
     ):
         if not isinstance(program, Program):
             program = Program(program)  # legacy callers pass bare TGD lists
         self.program = program
         self.name = name or program.name or "program"
         self.source = source
+        if facts is not None and not isinstance(facts, FactSummary):
+            facts = FactSummary.from_facts(facts)
+        self.fact_summary: Optional[FactSummary] = facts
         self.analysis_runs = 0
+        self.lint_runs = 0
         self._analysis: Optional[ProgramAnalysis] = None
+        self._diagnostics: Optional[ProgramDiagnostics] = None
         self._optimizer: Optional[JoinOptimizer] = None
         self._join_plans: Dict[TGD, JoinPlan] = {}
         self._default_network = None
@@ -112,6 +124,22 @@ class CompiledProgram:
             self.analysis_runs += 1
             self._analysis = ProgramAnalysis(self.program)
         return self._analysis
+
+    @property
+    def diagnostics(self) -> ProgramDiagnostics:
+        """The static lint report, computed on first access only.
+
+        Every consumer — the session's pre-planning gate, the plan's
+        ``lint:`` explain line, the CLI, the server's ``lint`` op —
+        reads this one cached report; ``lint_runs`` stays 1 no matter
+        how many queries touch the program.
+        """
+        if self._diagnostics is None:
+            self.lint_runs += 1
+            self._diagnostics = run_lint(
+                self.program, facts=self.fact_summary
+            )
+        return self._diagnostics
 
     # -- join planning (the operator-network half of "plan once") ---------
 
@@ -150,9 +178,13 @@ class CompiledProgram:
 
 
 def compile_program(
-    program: Program, *, name: str = "", source: Optional[str] = None
+    program: Program,
+    *,
+    name: str = "",
+    source: Optional[str] = None,
+    facts=None,
 ) -> CompiledProgram:
     """Compile *program* (idempotent on an already compiled argument)."""
     if isinstance(program, CompiledProgram):
         return program
-    return CompiledProgram(program, name=name, source=source)
+    return CompiledProgram(program, name=name, source=source, facts=facts)

@@ -40,6 +40,7 @@ from ..incremental import (
     unmaintainable_reason,
 )
 from ..lang.parser import parse_program, parse_query
+from ..lint import LintError
 from ..rewriting.magic import (
     AdornedProgram,
     MagicRewriting,
@@ -331,10 +332,10 @@ class Session:
             source = source.read_text()
         program, database = parse_program(source, name=name)
         self.add_facts(database)
-        return self.compile(program, source=source)
+        return self.compile(program, source=source, facts=database)
 
     def compile(
-        self, program: Program, *, source: Optional[str] = None
+        self, program: Program, *, source: Optional[str] = None, facts=None
     ) -> CompiledProgram:
         """Compile *program* once; later calls return the cached artifact."""
         with self._lock:
@@ -351,7 +352,9 @@ class Session:
                 program = Program(program)  # bare TGD iterables
             compiled = self._compiled.get(program)
             if compiled is None:
-                compiled = compile_program(program, source=source)
+                compiled = compile_program(
+                    program, source=source, facts=facts
+                )
                 self._compiled[program] = compiled
             self._last = compiled
             return compiled
@@ -402,6 +405,15 @@ class Session:
         if isinstance(query, str):
             query = parse_query(query)
         compiled = self._resolve_program(program)
+        # Static gate: a program with error-severity diagnostics —
+        # unsafe negation, arity conflicts, negation through recursion —
+        # has no sound evaluation, so reject it before the planner ever
+        # sees it.  The report is computed once per compiled program
+        # and cached (``compiled.diagnostics``); warnings and infos
+        # pass through and surface on the plan's ``lint:`` line.
+        errors = compiled.diagnostics.errors()
+        if errors:
+            raise LintError(errors, compiled.name)
         return self.planner.plan(
             compiled,
             query,

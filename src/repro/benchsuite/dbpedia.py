@@ -12,13 +12,12 @@ database is a synthetic "knowledge graph" of typed entities.
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import Optional
 
 from ..core.atoms import Atom
 from ..core.instance import Database
 from ..core.program import Program
-from ..core.terms import Constant, Variable
-from ..core.tgd import TGD
+from ..core.terms import Constant
 from ..lang.parser import parse_program, parse_query
 from .scenario import Scenario
 

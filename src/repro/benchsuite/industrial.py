@@ -24,7 +24,7 @@ from typing import List, Optional
 from ..core.atoms import Atom
 from ..core.instance import Database
 from ..core.program import Program
-from ..core.terms import Constant, Variable
+from ..core.terms import Variable
 from ..core.tgd import TGD
 from ..lang.parser import parse_query
 from .graphs import add_binary_relation, random_edges

@@ -28,7 +28,6 @@ from typing import List, Optional
 from ..core.atoms import Atom
 from ..core.instance import Database
 from ..core.program import Program
-from ..core.query import ConjunctiveQuery
 from ..core.terms import Variable
 from ..core.tgd import TGD
 from ..lang.parser import parse_query

@@ -12,7 +12,7 @@ against ground truth.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List
 
 from ..core.instance import Database
 from ..core.program import Program

@@ -17,7 +17,7 @@ the measured fractions land in the reported bands.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from ..analysis.linearization import linearize
 from ..analysis.piecewise import is_piecewise_linear

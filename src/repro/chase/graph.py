@@ -10,7 +10,7 @@ machinery the paper uses to prove Theorems 4.8 and 4.9.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.atoms import Atom

@@ -24,15 +24,14 @@ purposes: every atom it contains belongs to some chase result.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, Optional, Sequence, Set
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Set
 
 from ..core.atoms import Atom
 from ..core.homomorphism import find_homomorphism
 from ..core.instance import Database
 from ..core.program import Program
 from ..core.query import ConjunctiveQuery, stream_new_answers
-from ..core.substitution import Substitution
 from ..core.terms import Constant, NullFactory, Term, Variable
 from ..storage import FactStore, StoreChoice, make_store
 from .graph import ChaseGraph

@@ -28,11 +28,11 @@ suppresses it.  They also see the atoms the trigger would create.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Protocol, Sequence
+from typing import Iterable, Protocol, Sequence
 
 from ..core.atoms import Atom
 from ..core.instance import Instance
-from ..core.terms import Constant, Null
+from ..core.terms import Null
 from .trigger import Trigger
 
 __all__ = [

@@ -15,7 +15,7 @@ the standard delta-driven strategy used by chase engines.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Sequence
+from typing import Dict, Iterator, Sequence
 
 from ..core.atoms import Atom
 from ..core.homomorphism import homomorphisms

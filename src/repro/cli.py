@@ -6,6 +6,11 @@ The everyday workflow of the library, now built on the
 * ``classify FILE`` — parse a program and print its class memberships
   (warded, piece-wise linear, intensionally linear, linear Datalog,
   full Datalog), the predicate levels, and the node-width bounds;
+* ``lint FILE...`` — run the static diagnostics engine
+  (:mod:`repro.lint`) and print each finding with its stable code and
+  source position (``--format json`` for machines, ``--strict`` to
+  fail on warnings, ``--select``/``--ignore`` to filter by code
+  prefix; ``lint --help`` lists every code);
 * ``answer FILE --query "q(X,Y) :- t(X,Y)."`` — compute certain
   answers with the planner-dispatched engine (``--explain`` prints the
   query plan first);
@@ -39,9 +44,9 @@ The everyday workflow of the library, now built on the
   percentiles, answer verification against per-version ground truth),
   or summarize a trace file.
 
-Exit codes: 0 success, 2 engine/usage errors (printed as
-``repro: error: ...``, no traceback), 3 truncation/disagreement, 130
-on interrupt.
+Exit codes: 0 success, 1 lint findings (errors, or warnings under
+``--strict``), 2 engine/usage errors (printed as ``repro: error:
+...``, no traceback), 3 truncation/disagreement, 130 on interrupt.
 
 Every subcommand accepts ``--store`` naming a fact-storage backend
 (see :data:`repro.storage.BACKENDS`); an unknown name fails fast with
@@ -66,6 +71,7 @@ from .analysis import (
 from .api import ENGINES, EXEC_MODES, REWRITES, Session
 from .chase import chase
 from .lang.parser import parse_program, parse_query
+from .lint import registered_codes
 from .storage import BACKENDS
 
 __all__ = ["main", "build_parser"]
@@ -206,6 +212,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--query", help="optional CQ for the node-width bounds"
     )
 
+    code_lines = ["diagnostic codes (E error, W warning, I info):"]
+    code_lines.append(
+        "  E001 syntax-error              error    the program does "
+        "not parse (position of the failure)"
+    )
+    code_lines.extend(
+        f"  {code} {name:26s} {severity:8s} {summary}"
+        for code, name, severity, summary in registered_codes()
+    )
+    lint_cmd = commands.add_parser(
+        "lint",
+        help="run the static diagnostics engine over program files",
+        description=(
+            "Run every repro.lint pass over each FILE and report the "
+            "findings with stable codes and source positions.  Exits "
+            "1 when any file has error-severity findings (or warnings "
+            "under --strict), 0 when everything passes."
+        ),
+        epilog="\n".join(code_lines),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    lint_cmd.add_argument(
+        "files", nargs="+", type=Path, metavar="FILE",
+        help="program file(s) in the Vadalog-style surface syntax",
+    )
+    lint_cmd.add_argument(
+        "--query", metavar="CQ",
+        help="a target query; enables the query-scoped reachability "
+             "pass (W205)",
+    )
+    lint_cmd.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text, one line per finding)",
+    )
+    lint_cmd.add_argument(
+        "--strict", action="store_true",
+        help="fail (exit 1) on warnings too, not only errors",
+    )
+    lint_cmd.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated code prefixes to keep (e.g. E,W2); "
+             "default: all",
+    )
+    lint_cmd.add_argument(
+        "--ignore", metavar="CODES",
+        help="comma-separated code prefixes to drop (e.g. I,W104)",
+    )
+    lint_cmd.add_argument(
+        "--out", type=Path, metavar="PATH",
+        help="also write the JSON report to PATH (CI artifact)",
+    )
+
     answer = commands.add_parser(
         "answer",
         parents=[store_options],
@@ -319,19 +377,19 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--suite", action="append", default=None, choices=BENCH_SUITES,
         metavar="SUITE",
-        help=f"benchmark family to include (repeatable; default: all of "
+        help="benchmark family to include (repeatable; default: all of "
              f"{', '.join(BENCH_SUITES)})",
     )
     bench.add_argument(
         "--engine", action="append", default=None, choices=ENGINES,
         metavar="ENGINE",
-        help=f"engine to run (repeatable; default: all of "
+        help="engine to run (repeatable; default: all of "
              f"{', '.join(ENGINES)})",
     )
     bench.add_argument(
         "--store", action="append", default=None, type=_store_backend,
         metavar="BACKEND",
-        help=f"storage backend to run (repeatable; default: all of "
+        help="storage backend to run (repeatable; default: all of "
              f"{', '.join(BACKENDS)})",
     )
     bench.add_argument(
@@ -476,6 +534,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--changes", default="-", metavar="PATH",
         help="delta file of '+atom.' / '-atom.' lines; '-' reads stdin "
              "(default)",
+    )
+
+    client_lint = client_ops.add_parser(
+        "lint", help="lint a program text through the server's lint op"
+    )
+    client_lint.add_argument(
+        "file", type=Path, help="program file to send for linting"
+    )
+    client_lint.add_argument(
+        "--strict", action="store_true",
+        help="fail (exit 1) on warnings too, not only errors",
+    )
+    client_lint.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated code prefixes to keep",
+    )
+    client_lint.add_argument(
+        "--ignore", metavar="CODES",
+        help="comma-separated code prefixes to drop",
     )
 
     client_ops.add_parser(
@@ -641,16 +718,66 @@ def _cmd_classify(args, out) -> int:
         query = parse_query(args.query)
         normalized = analysis.normalized
         print(
-            f"  f_WARD∩PWL(q, Σ) = "
+            "  f_WARD∩PWL(q, Σ) = "
             f"{node_width_bound_pwl(query, normalized)}",
             file=out,
         )
         print(
-            f"  f_WARD(q, Σ)     = "
+            "  f_WARD(q, Σ)     = "
             f"{node_width_bound_ward(query, normalized)}",
             file=out,
         )
     return 0
+
+
+def _split_codes(value: Optional[str]) -> Optional[list]:
+    """``--select``/``--ignore`` values: comma-separated code prefixes."""
+    if not value:
+        return None
+    return [code.strip() for code in value.split(",") if code.strip()]
+
+
+def _cmd_lint(args, out) -> int:
+    import json
+
+    from .lint import lint_source
+
+    select = _split_codes(args.select)
+    ignore = _split_codes(args.ignore)
+    reports = []
+    failed = False
+    for path in args.files:
+        try:
+            text = path.read_text()
+        except OSError as error:
+            raise SystemExit(f"repro: cannot read {path}: {error}")
+        report = lint_source(
+            text,
+            name=path.stem,
+            query=args.query,
+            select=select,
+            ignore=ignore,
+        )
+        reports.append((path, report))
+        failed = failed or report.fails(args.strict)
+    payload = {
+        "strict": args.strict,
+        "failed": failed,
+        "files": [
+            {"path": str(path), **report.as_payload()}
+            for path, report in reports
+        ],
+    }
+    if args.out is not None:
+        args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    if args.format == "json":
+        print(json.dumps(payload, indent=2), file=out)
+    else:
+        for path, report in reports:
+            for line in report.render(str(path)):
+                print(line, file=out)
+            print(f"{path}: {report.summary()}", file=out)
+    return 1 if failed else 0
 
 
 def _answer_one(session, query_text, args, out) -> None:
@@ -1026,6 +1153,32 @@ def _cmd_client(args, out, stdin) -> int:
             )
             for label, reason in payload["fallbacks"]:
                 print(f"  fallback: {label}: {reason}", file=out)
+        elif command == "lint":
+            try:
+                text = args.file.read_text()
+            except OSError as error:
+                raise SystemExit(
+                    f"repro: cannot read {args.file}: {error}"
+                )
+            payload = client.lint(
+                text,
+                select=_split_codes(args.select),
+                ignore=_split_codes(args.ignore),
+            )
+            for finding in payload["diagnostics"]:
+                location = (
+                    f"{finding['line']}:{finding['column']}"
+                    if "line" in finding
+                    else "-"
+                )
+                print(
+                    f"{args.file}:{location} {finding['code']} "
+                    f"{finding['name']}: {finding['message']}",
+                    file=out,
+                )
+            print(f"{args.file}: {payload['summary']}", file=out)
+            if payload["errors"] or (args.strict and payload["warnings"]):
+                return 1
         elif command == "stats":
             print(json.dumps(client.stats(), indent=2, default=str), file=out)
         else:  # shutdown
@@ -1150,6 +1303,7 @@ def _dispatch(args, out, stdin) -> int:
         return _cmd_client(args, out, stdin)
     handlers = {
         "classify": _cmd_classify,
+        "lint": _cmd_lint,
         "answer": _cmd_answer,
         "chase": _cmd_chase,
         "stats": _cmd_stats,

@@ -9,9 +9,10 @@ which the wardedness analysis (affected positions, Section 3) operates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
 
+from .spans import AtomSpan
 from .terms import Constant, Null, Term, Variable
 
 __all__ = ["Atom", "Position", "atoms_variables", "atoms_terms", "atoms_nulls"]
@@ -33,10 +34,17 @@ class Position:
 
 @dataclass(frozen=True, slots=True)
 class Atom:
-    """An atom ``R(t1, ..., tn)`` over constants, variables, and nulls."""
+    """An atom ``R(t1, ..., tn)`` over constants, variables, and nulls.
+
+    ``span`` records where this occurrence was written when the atom
+    came from the parser (see :mod:`repro.core.spans`); it is excluded
+    from equality and hashing — atoms built programmatically or derived
+    by the engines simply carry ``span=None``.
+    """
 
     predicate: str
     args: tuple[Term, ...]
+    span: Optional[AtomSpan] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not isinstance(self.args, tuple):

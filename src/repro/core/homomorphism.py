@@ -18,7 +18,7 @@ matched next, using the instance's position indexes.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Optional, Sequence
+from typing import Dict, Iterator, Optional, Sequence
 
 from .atoms import Atom
 from .instance import Instance

@@ -14,9 +14,8 @@ Programs are immutable; transformations return new programs.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional, Sequence
+from typing import Iterable, Iterator, Optional
 
-from .atoms import Atom
 from .tgd import TGD, single_head_program_atoms
 
 __all__ = ["Program"]
@@ -60,7 +59,7 @@ class Program:
         if self._schema is None:
             schema: dict[str, int] = {}
             for tgd in self._tgds:
-                for atom in tgd.body + tgd.head:
+                for atom in tgd.body + tgd.head + tgd.negated:
                     known = schema.get(atom.predicate)
                     if known is None:
                         schema[atom.predicate] = atom.arity
@@ -100,6 +99,17 @@ class Program:
     def is_single_head(self) -> bool:
         """True iff every TGD has a single head atom."""
         return all(t.is_single_head() for t in self._tgds)
+
+    def has_negation(self) -> bool:
+        """True iff some TGD carries negated body literals.
+
+        The surface syntax accepts ``not p(X̄)`` so that
+        :mod:`repro.lint` can check safety and stratifiability
+        statically; the positive evaluation engines reject such
+        programs at planning time (see :mod:`repro.datalog.negation`
+        for the stratified evaluation layer).
+        """
+        return any(t.negated for t in self._tgds)
 
     def is_warded(self) -> bool:
         """Membership in WARD (Definition 3.1)."""

@@ -1,0 +1,71 @@
+"""Source spans: where a construct came from, for diagnostics.
+
+The lexer records 1-based ``line``/``column`` positions on every token;
+the parser threads them onto atoms and rules as :class:`Span` /
+:class:`AtomSpan` records so that every diagnostic (``repro.lint``,
+:class:`~repro.lang.parser.ParserError`) points at real source.
+
+Spans are *annotations*, not identity: they are excluded from equality
+and hashing everywhere they are attached (two occurrences of
+``edge(a, b)`` are the same atom wherever they were written), and every
+construct built programmatically simply carries ``span=None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Span", "AtomSpan"]
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """A contiguous source region, 1-based, end-exclusive on columns."""
+
+    line: int
+    column: int
+    end_line: int
+    end_column: int
+
+    @classmethod
+    def point(cls, line: int, column: int, width: int = 1) -> "Span":
+        """A single-line span of *width* characters."""
+        return cls(line, column, line, column + width)
+
+    def merge(self, other: Optional["Span"]) -> "Span":
+        """The smallest span covering both ``self`` and *other*."""
+        if other is None:
+            return self
+        start = min((self.line, self.column), (other.line, other.column))
+        end = max(
+            (self.end_line, self.end_column),
+            (other.end_line, other.end_column),
+        )
+        return Span(start[0], start[1], end[0], end[1])
+
+    @property
+    def location(self) -> str:
+        """The conventional ``line:column`` rendering of the start."""
+        return f"{self.line}:{self.column}"
+
+    def __str__(self) -> str:
+        return self.location
+
+
+@dataclass(frozen=True, slots=True)
+class AtomSpan:
+    """Spans of one atom occurrence: the whole atom and each argument.
+
+    ``args`` lines up with the atom's argument tuple; it may be empty
+    for zero-ary atoms (or when only the whole-atom span is known).
+    """
+
+    whole: Span
+    args: tuple[Span, ...] = ()
+
+    def arg(self, index: int) -> Span:
+        """The span of argument *index* (0-based), or the whole atom."""
+        if 0 <= index < len(self.args):
+            return self.args[index]
+        return self.whole

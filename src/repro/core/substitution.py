@@ -40,7 +40,7 @@ class Substitution(Mapping[Term, Term]):
             for key, value in mapping.items():
                 if isinstance(key, Constant) and key != value:
                     raise ValueError(
-                        f"substitution must be the identity on constants; "
+                        "substitution must be the identity on constants; "
                         f"got {key} -> {value}"
                     )
                 if key != value:

@@ -25,9 +25,10 @@ occurrences as trivially harmless.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import Optional, Sequence
 
 from .atoms import Atom, atoms_variables
+from .spans import Span
 from .substitution import Substitution
 from .terms import Constant, Term, Variable
 
@@ -42,11 +43,22 @@ class TGD:
     not written explicitly: every variable occurring in the head but not
     in the body is existentially quantified, exactly as in the rule-based
     surface syntax of Datalog∃.
+
+    ``negated`` holds the rule's negated body literals (``not p(X̄)`` in
+    the surface syntax).  The evaluation engines cover positive
+    Datalog±; negated literals are carried for *static analysis*
+    (:mod:`repro.lint` safety and stratifiability passes) and for the
+    dedicated stratified layer (:mod:`repro.datalog.negation`) — the
+    planner rejects negated programs rather than silently ignoring the
+    literals.  ``span`` records where the rule was written (parser
+    provenance; excluded from equality like every span).
     """
 
     body: tuple[Atom, ...]
     head: tuple[Atom, ...]
     label: str = field(default="", compare=False)
+    negated: tuple[Atom, ...] = ()
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self.body:
@@ -55,6 +67,8 @@ class TGD:
             raise ValueError("a TGD needs a non-empty head")
         object.__setattr__(self, "body", tuple(self.body))
         object.__setattr__(self, "head", tuple(self.head))
+        if not isinstance(self.negated, tuple):
+            object.__setattr__(self, "negated", tuple(self.negated))
 
     # -- variable structure --------------------------------------------------
 
@@ -105,6 +119,13 @@ class TGD:
     def head_predicates(self) -> set[str]:
         return {a.predicate for a in self.head}
 
+    def negated_predicates(self) -> set[str]:
+        return {a.predicate for a in self.negated}
+
+    def has_negation(self) -> bool:
+        """True iff the rule carries negated body literals."""
+        return bool(self.negated)
+
     # -- renaming ----------------------------------------------------------
 
     def rename(self, suffix: str) -> "TGD":
@@ -121,6 +142,7 @@ class TGD:
             subst.apply_atoms(self.body),
             subst.apply_atoms(self.head),
             label=self.label,
+            negated=subst.apply_atoms(self.negated),
         )
 
     def apply(self, substitution: Substitution) -> "TGD":
@@ -129,6 +151,7 @@ class TGD:
             substitution.apply_atoms(self.body),
             substitution.apply_atoms(self.head),
             label=self.label,
+            negated=substitution.apply_atoms(self.negated),
         )
 
     def validate(self, allow_constants: bool = False) -> None:
@@ -151,6 +174,8 @@ class TGD:
 
     def __str__(self) -> str:
         body = ", ".join(str(a) for a in self.body)
+        if self.negated:
+            body += ", " + ", ".join(f"not {a}" for a in self.negated)
         head = ", ".join(str(a) for a in self.head)
         exist = self.existential_variables()
         prefix = ""
@@ -188,7 +213,14 @@ def single_head_program_atoms(
         aux_name = f"{aux_prefix}_{counter}"
         counter += 1
         aux_atom = Atom(aux_name, aux_args)
-        result.append(TGD(tgd.body, (aux_atom,), label=tgd.label or "split"))
+        result.append(
+            TGD(
+                tgd.body, (aux_atom,),
+                label=tgd.label or "split",
+                negated=tgd.negated,
+                span=tgd.span,
+            )
+        )
         for head_atom in tgd.head:
             result.append(
                 TGD((aux_atom,), (head_atom,), label=f"{tgd.label or 'split'}/proj")

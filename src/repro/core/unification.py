@@ -24,7 +24,7 @@ from typing import Iterable, Optional, Sequence
 
 from .atoms import Atom
 from .substitution import Substitution
-from .terms import Constant, Null, Term, Variable
+from .terms import Term, Variable
 
 __all__ = ["mgu_atoms", "mgu_pairs", "unify_term_lists", "UnionFind"]
 

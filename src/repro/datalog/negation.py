@@ -27,8 +27,8 @@ literal occurs in some positive body atom.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
 
 from ..core.atoms import Atom
 from ..core.homomorphism import homomorphisms

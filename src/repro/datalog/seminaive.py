@@ -18,7 +18,7 @@ This engine is the substrate for:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional
 
 from ..core.atoms import Atom
 from ..core.homomorphism import homomorphisms
@@ -62,8 +62,8 @@ def _resolve_exec(exec_mode: str, instance: Optional[FactStore],
     capable = instance is not None and kernel_capable(instance)
     if exec_mode == "kernel" and not capable:
         raise ValueError(
-            f"exec_mode='kernel' needs a store with an interned "
-            f"id-array surface (rows_interned/extend_interned); "
+            "exec_mode='kernel' needs a store with an interned "
+            "id-array surface (rows_interned/extend_interned); "
             f"{store_label!r} has none"
         )
     if exec_mode == "interpret" or not capable:
@@ -98,7 +98,7 @@ def _check_datalog(program: Program) -> None:
             )
         if not tgd.is_single_head():
             raise ValueError(
-                f"semi-naive evaluation needs single-head TGDs; normalize "
+                "semi-naive evaluation needs single-head TGDs; normalize "
                 f"first ({tgd} has {len(tgd.head)} head atoms)"
             )
 

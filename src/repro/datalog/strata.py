@@ -21,14 +21,14 @@ trade-off the paper describes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 from ..core.instance import Database, Instance
 from ..core.program import Program
 from ..core.query import ConjunctiveQuery
 from ..core.terms import Constant
 from ..core.tgd import TGD
-from .seminaive import SemiNaiveResult, seminaive
+from .seminaive import seminaive
 
 __all__ = ["Strata", "compute_strata", "stratified_seminaive", "StratifiedResult"]
 

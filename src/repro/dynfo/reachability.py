@@ -28,7 +28,7 @@ remain exact.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, Set, Tuple
 
 __all__ = ["IncrementalReachability", "DynamicReachability"]

@@ -20,7 +20,7 @@ certainty check is a lookup — no chase, no proof search.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Set, Tuple
+from typing import Optional, Set, Tuple
 
 from ..analysis.linearization import linearize
 from ..core.atoms import Atom
@@ -158,7 +158,7 @@ class IncrementalReasoner:
         """Apply one fact insertion; returns new closure pairs."""
         if fact.predicate == self.pattern.closure_predicate:
             raise ValueError(
-                f"cannot seed the closure predicate "
+                "cannot seed the closure predicate "
                 f"{self.pattern.closure_predicate!r} directly"
             )
         if fact.predicate != self.pattern.edge_predicate:

@@ -24,11 +24,10 @@ the trade-off the E7 ablation benchmark measures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Sequence
 
 from ..core.atoms import Atom
-from ..core.terms import Constant, Null, Term
+from ..core.terms import Null
 
 __all__ = ["LinearForestGuide", "NoGuide"]
 

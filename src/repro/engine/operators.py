@@ -22,8 +22,8 @@ consulted at the nodes for termination control.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
 
 from ..core.atoms import Atom
 from ..core.instance import Database
@@ -31,7 +31,7 @@ from ..core.program import Program
 from ..core.terms import Null, NullFactory, Term, Variable
 from ..core.tgd import TGD
 from ..storage import FactStore, StoreChoice, make_store
-from .guides import LinearForestGuide, NoGuide
+from .guides import NoGuide
 from .optimizer import JoinOptimizer, JoinPlan
 
 __all__ = ["EngineEvent", "EngineResult", "EngineRun", "OperatorNetwork"]

@@ -19,7 +19,7 @@ towards having that recursive predicate as the first (or last) operand.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Set
+from typing import List, Optional, Set
 
 from ..analysis.piecewise import recursive_body_atoms
 from ..analysis.predicate_graph import PredicateGraph

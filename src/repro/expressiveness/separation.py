@@ -19,7 +19,6 @@ this argument against any candidate Datalog program.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 from ..core.atoms import Atom
 from ..core.instance import Database

@@ -37,19 +37,18 @@ the output is plain Datalog (Theorem 6.3(2)).
 
 from __future__ import annotations
 
-import itertools
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..analysis.levels import node_width_bound_pwl, node_width_bound_ward
 from ..analysis.piecewise import is_piecewise_linear
 from ..analysis.wardedness import is_warded
-from ..core.atoms import Atom, atoms_variables
+from ..core.atoms import Atom
 from ..core.program import Program
 from ..core.query import ConjunctiveQuery
 from ..core.substitution import Substitution
-from ..core.terms import Term, Variable
+from ..core.terms import Variable
 from ..core.tgd import TGD
 from ..prooftree.canonical import canonical_form
 from ..prooftree.decomposition import connected_components, restrict_output

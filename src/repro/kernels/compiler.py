@@ -30,7 +30,7 @@ set.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from ..core.program import Program
 from ..core.terms import Term, Variable

@@ -15,7 +15,9 @@ The token stream feeds :mod:`repro.lang.parser`.  Lexical rules:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import List
+
+from ..core.spans import Span
 
 __all__ = ["Token", "TokenType", "tokenize", "LexerError"]
 
@@ -46,12 +48,26 @@ class TokenType:
 
 @dataclass(frozen=True)
 class Token:
-    """A single token with its source location (1-based)."""
+    """A single token with its source location (1-based).
+
+    ``end_line``/``end_column`` mark the position just past the token's
+    last character (end-exclusive); a default of 0 means "unknown" and
+    resolves to ``column + len(value)`` via :attr:`span`.
+    """
 
     type: str
     value: str
     line: int
     column: int
+    end_line: int = 0
+    end_column: int = 0
+
+    @property
+    def span(self) -> Span:
+        """The token's source region as a :class:`~repro.core.spans.Span`."""
+        if self.end_line:
+            return Span(self.line, self.column, self.end_line, self.end_column)
+        return Span.point(self.line, self.column, max(len(self.value), 1))
 
     def __repr__(self) -> str:
         return f"Token({self.type}, {self.value!r}, {self.line}:{self.column})"
@@ -85,23 +101,36 @@ def tokenize(text: str) -> List[Token]:
                 advance()
             continue
         if ch == "(":
-            tokens.append(Token(TokenType.LPAREN, "(", line, column))
+            tokens.append(
+                Token(TokenType.LPAREN, "(", line, column, line, column + 1)
+            )
             advance()
             continue
         if ch == ")":
-            tokens.append(Token(TokenType.RPAREN, ")", line, column))
+            tokens.append(
+                Token(TokenType.RPAREN, ")", line, column, line, column + 1)
+            )
             advance()
             continue
         if ch == ",":
-            tokens.append(Token(TokenType.COMMA, ",", line, column))
+            tokens.append(
+                Token(TokenType.COMMA, ",", line, column, line, column + 1)
+            )
             advance()
             continue
         if ch == ".":
-            tokens.append(Token(TokenType.PERIOD, ".", line, column))
+            tokens.append(
+                Token(TokenType.PERIOD, ".", line, column, line, column + 1)
+            )
             advance()
             continue
         if text.startswith(":-", i) or text.startswith("<-", i):
-            tokens.append(Token(TokenType.IMPLIES, text[i:i + 2], line, column))
+            tokens.append(
+                Token(
+                    TokenType.IMPLIES, text[i:i + 2],
+                    line, column, line, column + 2,
+                )
+            )
             advance(2)
             continue
         if ch == '"':
@@ -118,7 +147,12 @@ def tokenize(text: str) -> List[Token]:
             if i >= n:
                 raise LexerError("unterminated string literal", start_line, start_col)
             advance()  # closing quote
-            tokens.append(Token(TokenType.STRING, "".join(chars), start_line, start_col))
+            tokens.append(
+                Token(
+                    TokenType.STRING, "".join(chars),
+                    start_line, start_col, line, column,
+                )
+            )
             continue
         if ch.isdigit() or (ch == "-" and i + 1 < n and text[i + 1].isdigit()):
             start_line, start_col = line, column
@@ -127,7 +161,10 @@ def tokenize(text: str) -> List[Token]:
             while i < n and text[i].isdigit():
                 advance()
             tokens.append(
-                Token(TokenType.NUMBER, text[start:i], start_line, start_col)
+                Token(
+                    TokenType.NUMBER, text[start:i],
+                    start_line, start_col, line, column,
+                )
             )
             continue
         if ch.isalpha() or ch == "_":
@@ -136,12 +173,16 @@ def tokenize(text: str) -> List[Token]:
             while i < n and (text[i].isalnum() or text[i] in "_'"):
                 advance()
             word = text[start:i]
-            if word[0].isupper() or word[0] == "_":
-                tokens.append(Token(TokenType.VARIABLE, word, start_line, start_col))
-            else:
-                tokens.append(Token(TokenType.NAME, word, start_line, start_col))
+            kind = (
+                TokenType.VARIABLE
+                if word[0].isupper() or word[0] == "_"
+                else TokenType.NAME
+            )
+            tokens.append(
+                Token(kind, word, start_line, start_col, line, column)
+            )
             continue
         raise LexerError(f"unexpected character {ch!r}", line, column)
 
-    tokens.append(Token(TokenType.EOF, "", line, column))
+    tokens.append(Token(TokenType.EOF, "", line, column, line, column))
     return tokens

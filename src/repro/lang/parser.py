@@ -5,7 +5,10 @@ The grammar (statements end with ``.``):
 * **fact** — a ground atom: ``edge(a, b).`` → goes to the database,
 * **rule** — ``head1, ..., headm :- body1, ..., bodyk.`` → a TGD; every
   variable occurring in the head but not in the body is read as
-  existentially quantified, matching Datalog∃ conventions,
+  existentially quantified, matching Datalog∃ conventions.  Body
+  literals may be negated (``t(X) :- e(X), not blocked(X).``); negated
+  literals are carried on :attr:`repro.core.tgd.TGD.negated` for the
+  static analyses — the positive engines reject them at planning time,
 * **query** — parsed by :func:`parse_query` from the same rule shape
   ``q(X, Y) :- body.``; the head arguments (which must be body
   variables) become the output tuple x̄.
@@ -13,18 +16,23 @@ The grammar (statements end with ``.``):
 ``parse_program`` returns the pair (Program, Database); facts and rules
 may be interleaved freely.  ``_`` is a don't-care variable: each
 occurrence becomes a distinct fresh variable.
+
+Every construct carries its source span (:mod:`repro.core.spans`), and
+every syntax error is a :class:`ParserError` with ``line``/``column``
+attributes — including the statement-shape errors (fact with variables,
+malformed query) that used to surface as bare ``ValueError``\\ s.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..core.atoms import Atom
 from ..core.instance import Database
 from ..core.program import Program
 from ..core.query import ConjunctiveQuery
+from ..core.spans import AtomSpan, Span
 from ..core.terms import Constant, Term, Variable
 from ..core.tgd import TGD
 from .lexer import Token, TokenType, tokenize
@@ -33,14 +41,42 @@ __all__ = ["parse_program", "parse_query", "parse_atom", "ParserError"]
 
 
 class ParserError(ValueError):
-    """Raised when the token stream does not match the grammar."""
+    """Raised when the token stream does not match the grammar.
 
-    def __init__(self, message: str, token: Token):
-        super().__init__(
-            f"line {token.line}, column {token.column}: {message} "
-            f"(at {token.value!r})"
-        )
+    Always carries a source position: ``line`` and ``column`` (1-based),
+    plus the offending ``token`` when the error is anchored to one.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        token: Optional[Token] = None,
+        *,
+        span: Optional[Span] = None,
+    ):
+        if token is not None:
+            line, column = token.line, token.column
+            rendered = (
+                f"line {line}, column {column}: {message} "
+                f"(at {token.value!r})"
+            )
+        elif span is not None:
+            line, column = span.line, span.column
+            rendered = f"line {line}, column {column}: {message}"
+        else:  # positionless fallback; no current caller uses it
+            line = column = 0
+            rendered = message
+        super().__init__(rendered)
         self.token = token
+        self.span = span if span is not None else (
+            token.span if token is not None else None
+        )
+        self.line = line
+        self.column = column
+
+
+def _atom_span(atom: Atom) -> Optional[Span]:
+    return atom.span.whole if atom.span is not None else None
 
 
 class _Parser:
@@ -53,8 +89,9 @@ class _Parser:
 
     # -- token plumbing -------------------------------------------------------
 
-    def _peek(self) -> Token:
-        return self._tokens[self._pos]
+    def _peek(self, ahead: int = 0) -> Token:
+        index = min(self._pos + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
 
     def _next(self) -> Token:
         token = self._tokens[self._pos]
@@ -72,22 +109,22 @@ class _Parser:
 
     # -- grammar -------------------------------------------------------------
 
-    def parse_term(self) -> Term:
+    def parse_term(self) -> Tuple[Term, Span]:
         token = self._peek()
         if token.type == TokenType.VARIABLE:
             self._next()
             if token.value == "_":
-                return Variable(f"_dc{next(self._dontcare)}")
-            return Variable(token.value)
+                return Variable(f"_dc{next(self._dontcare)}"), token.span
+            return Variable(token.value), token.span
         if token.type == TokenType.NAME:
             self._next()
-            return Constant(token.value)
+            return Constant(token.value), token.span
         if token.type == TokenType.NUMBER:
             self._next()
-            return Constant(int(token.value))
+            return Constant(int(token.value)), token.span
         if token.type == TokenType.STRING:
             self._next()
-            return Constant(token.value)
+            return Constant(token.value), token.span
         raise ParserError("expected a term", token)
 
     def parse_atom(self) -> Atom:
@@ -100,23 +137,66 @@ class _Parser:
         self._next()
         self._expect(TokenType.LPAREN)
         args: list[Term] = []
+        arg_spans: list[Span] = []
         if self._peek().type != TokenType.RPAREN:
-            args.append(self.parse_term())
+            term, span = self.parse_term()
+            args.append(term)
+            arg_spans.append(span)
             while self._peek().type == TokenType.COMMA:
                 self._next()
-                args.append(self.parse_term())
-        self._expect(TokenType.RPAREN)
-        return Atom(name_token.value, tuple(args))
+                term, span = self.parse_term()
+                args.append(term)
+                arg_spans.append(span)
+        rparen = self._expect(TokenType.RPAREN)
+        whole = name_token.span.merge(rparen.span)
+        return Atom(
+            name_token.value,
+            tuple(args),
+            span=AtomSpan(whole, tuple(arg_spans)),
+        )
 
-    def parse_atom_list(self) -> list[Atom]:
-        atoms = [self.parse_atom()]
+    def _at_negation(self) -> bool:
+        """``not`` followed by a predicate application starts a negated
+        literal; ``not(...)`` stays an ordinary atom named ``not``."""
+        token = self._peek()
+        return (
+            token.type == TokenType.NAME
+            and token.value == "not"
+            and self._peek(1).type in (TokenType.NAME, TokenType.VARIABLE)
+        )
+
+    def parse_literal_list(
+        self, allow_negation: bool
+    ) -> Tuple[list[Atom], list[Atom]]:
+        """A comma-separated literal list: (positive atoms, negated atoms)."""
+        positives: list[Atom] = []
+        negatives: list[Atom] = []
+
+        def one_literal() -> None:
+            if self._at_negation():
+                not_token = self._next()
+                if not allow_negation:
+                    raise ParserError(
+                        "negated literals are only allowed in rule bodies",
+                        not_token,
+                    )
+                negatives.append(self.parse_atom())
+            else:
+                positives.append(self.parse_atom())
+
+        one_literal()
         while self._peek().type == TokenType.COMMA:
             self._next()
-            atoms.append(self.parse_atom())
+            one_literal()
+        return positives, negatives
+
+    def parse_atom_list(self) -> list[Atom]:
+        atoms, _ = self.parse_literal_list(allow_negation=False)
         return atoms
 
     def parse_statement(self) -> Tuple[str, object]:
         """Parse one statement: ('fact', Atom) or ('rule', TGD)."""
+        start = self._peek()
         first_atoms = self.parse_atom_list()
         token = self._peek()
         if token.type == TokenType.PERIOD:
@@ -128,9 +208,17 @@ class _Parser:
             return ("fact", first_atoms[0])
         if token.type == TokenType.IMPLIES:
             self._next()
-            body = self.parse_atom_list()
-            self._expect(TokenType.PERIOD)
-            return ("rule", TGD(tuple(body), tuple(first_atoms)))
+            body, negated = self.parse_literal_list(allow_negation=True)
+            period = self._expect(TokenType.PERIOD)
+            return (
+                "rule",
+                TGD(
+                    tuple(body),
+                    tuple(first_atoms),
+                    negated=tuple(negated),
+                    span=start.span.merge(period.span),
+                ),
+            )
         raise ParserError("expected '.' or ':-'", token)
 
 
@@ -150,9 +238,10 @@ def parse_program(text: str, name: str = "") -> Tuple[Program, Database]:
             atom = payload
             assert isinstance(atom, Atom)
             if not atom.is_fact():
-                raise ValueError(
+                raise ParserError(
                     f"fact statement {atom} contains variables; "
-                    "did you mean a rule?"
+                    "did you mean a rule?",
+                    span=_atom_span(atom),
                 )
             database.add(atom)
         else:
@@ -171,19 +260,42 @@ def parse_query(text: str) -> ConjunctiveQuery:
     parser = _Parser(text)
     kind, payload = parser.parse_statement()
     if not parser.at_end():
-        raise ValueError("parse_query expects exactly one rule")
+        raise ParserError(
+            "parse_query expects exactly one rule", parser._peek()
+        )
     if kind != "rule":
-        raise ValueError("a query must have the rule form 'q(...) :- body.'")
+        atom = payload
+        assert isinstance(atom, Atom)
+        raise ParserError(
+            "a query must have the rule form 'q(...) :- body.'",
+            span=_atom_span(atom),
+        )
     tgd = payload
     assert isinstance(tgd, TGD)
+    if tgd.negated:
+        raise ParserError(
+            "queries are conjunctive: negated literals are not allowed",
+            span=_atom_span(tgd.negated[0]) or tgd.span,
+        )
     if len(tgd.head) != 1:
-        raise ValueError("a query head must be a single atom")
+        raise ParserError(
+            "a query head must be a single atom",
+            span=_atom_span(tgd.head[1]) or tgd.span,
+        )
     head = tgd.head[0]
+    body_variables = tgd.body_variables()
     output: list[Variable] = []
-    for term in head.args:
+    for index, term in enumerate(head.args):
+        arg_span = head.span.arg(index) if head.span is not None else None
         if not isinstance(term, Variable):
-            raise ValueError(
-                f"query output positions must be variables, got {term}"
+            raise ParserError(
+                f"query output positions must be variables, got {term}",
+                span=arg_span,
+            )
+        if term not in body_variables:
+            raise ParserError(
+                f"output variable {term} does not occur in the query body",
+                span=arg_span,
             )
         output.append(term)
     return ConjunctiveQuery(
@@ -198,5 +310,5 @@ def parse_atom(text: str) -> Atom:
     if parser._peek().type == TokenType.PERIOD:
         parser._next()
     if not parser.at_end():
-        raise ValueError("trailing input after atom")
+        raise ParserError("trailing input after atom", parser._peek())
     return atom

@@ -1,0 +1,147 @@
+"""repro.lint — static diagnostics for Datalog± programs.
+
+The linter runs a registry of :mod:`passes <repro.lint.passes>` over a
+parsed :class:`~repro.core.program.Program` (optionally with its facts
+and a target query) and returns a :class:`ProgramDiagnostics` report of
+structured :class:`Diagnostic` findings — stable code, severity,
+message, and the source span of the offending construct.
+
+Entry points:
+
+* :func:`run_lint` — lint an already-parsed program,
+* :func:`lint_source` — lint program text; a program that does not even
+  parse yields a single ``E001 syntax-error`` diagnostic carrying the
+  parser's position instead of an exception.
+
+The same report surfaces everywhere programs do: cached on
+:class:`~repro.api.program.CompiledProgram` (computed once per compiled
+program, mirroring its ``analysis_runs`` discipline), printed by
+:meth:`QueryPlan.explain() <repro.api.planner.QueryPlan>`, served by the
+``lint`` op of :mod:`repro.server`, and driven from the command line by
+``python -m repro lint``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+from ..core.atoms import Atom
+from ..core.program import Program
+from ..core.query import ConjunctiveQuery
+from ..core.spans import Span
+from .context import FactSummary, LintContext
+from .diagnostics import (
+    SEVERITIES,
+    Diagnostic,
+    LintError,
+    ProgramDiagnostics,
+    severity_of_code,
+)
+from .passes import PASSES, registered_codes
+
+__all__ = [
+    "Diagnostic",
+    "FactSummary",
+    "LintContext",
+    "LintError",
+    "PASSES",
+    "ProgramDiagnostics",
+    "SEVERITIES",
+    "lint_source",
+    "pass_invocations",
+    "registered_codes",
+    "run_lint",
+    "severity_of_code",
+]
+
+#: Global count of individual pass executions — the observability hook
+#: the caching tests read: compiling the same program twice must not
+#: grow this (mirrors ``CompiledProgram.analysis_runs``).
+PASS_INVOCATIONS = 0
+
+
+def pass_invocations() -> int:
+    """How many pass executions have happened process-wide."""
+    return PASS_INVOCATIONS
+
+
+Facts = Union[FactSummary, Iterable[Atom]]
+
+
+def _summarize(facts: Optional[Facts]) -> Optional[FactSummary]:
+    if facts is None or isinstance(facts, FactSummary):
+        return facts
+    return FactSummary.from_facts(facts)
+
+
+def run_lint(
+    program: Program,
+    *,
+    facts: Optional[Facts] = None,
+    query: Optional[ConjunctiveQuery] = None,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> ProgramDiagnostics:
+    """Run every applicable pass over *program* and report.
+
+    *facts* (a :class:`FactSummary` or any iterable of ground atoms,
+    e.g. a :class:`~repro.core.instance.Database`) enables the
+    EDB-aware passes; *query* enables the query-scoped reachability
+    pass.  *select*/*ignore* are ruff-style code-prefix filters applied
+    to the finished report (``select=["E"]``, ``ignore=["W2", "I"]``).
+    """
+    global PASS_INVOCATIONS
+    ctx = LintContext(program, facts=_summarize(facts), query=query)
+    findings: list[Diagnostic] = []
+    executed = 0
+    for lint_pass in PASSES:
+        if not lint_pass.applicable(ctx):
+            continue
+        executed += 1
+        PASS_INVOCATIONS += 1
+        findings.extend(lint_pass.check(ctx))
+    report = ProgramDiagnostics.collect(findings, passes_run=executed)
+    return report.filter(select, ignore)
+
+
+def lint_source(
+    text: str,
+    *,
+    name: str = "",
+    query: Optional[str] = None,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> ProgramDiagnostics:
+    """Lint program *text*; syntax errors become ``E001`` findings.
+
+    A text that fails to tokenize or parse cannot reach the passes, so
+    the report degenerates to exactly one error-severity ``E001
+    syntax-error`` diagnostic positioned at the failure (``passes_run``
+    stays 0).  *query*, when given, is parsed the same way.
+    """
+    from ..lang.parser import parse_program, parse_query
+
+    try:
+        program, database = parse_program(text, name=name)
+        parsed_query = parse_query(query) if query is not None else None
+    except ValueError as error:  # LexerError and ParserError both qualify
+        line = getattr(error, "line", 0)
+        column = getattr(error, "column", 0)
+        span = getattr(error, "span", None)
+        if span is None and line:
+            span = Span.point(line, column or 1)
+        diagnostic = Diagnostic(
+            code="E001",
+            name="syntax-error",
+            severity="error",
+            message=str(error),
+            span=span,
+        )
+        return ProgramDiagnostics.collect([diagnostic], passes_run=0)
+    return run_lint(
+        program,
+        facts=database,
+        query=parsed_query,
+        select=select,
+        ignore=ignore,
+    )

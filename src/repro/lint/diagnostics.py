@@ -1,0 +1,235 @@
+"""The diagnostic model: structured findings with stable codes.
+
+A :class:`Diagnostic` is one finding of one lint pass: a stable code
+(``E101``), a short kebab-case name (``unsafe-rule``), a severity tier
+(``error`` / ``warning`` / ``info`` — the code's first letter mirrors
+it), a human-readable message, and — when the program came from source
+text — a :class:`~repro.core.spans.Span` pointing at the offending
+construct.
+
+A :class:`ProgramDiagnostics` is the immutable report of one lint run:
+ordered, filterable by code prefix (ruff-style ``--select E`` /
+``--ignore W2``), and renderable as text lines, a one-line summary
+(the planner's ``lint:`` explain line), or a JSON payload (CLI
+``--format json``, the server's ``lint`` op).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, Optional, Sequence
+
+from ..core.spans import Span
+
+__all__ = [
+    "Diagnostic",
+    "LintError",
+    "ProgramDiagnostics",
+    "SEVERITIES",
+    "severity_of_code",
+]
+
+#: Severity tiers, most severe first.  ``--strict`` promotes warnings
+#: to failures; ``info`` findings never fail a build.
+SEVERITIES = ("error", "warning", "info")
+
+_PREFIX_SEVERITY = {"E": "error", "W": "warning", "I": "info"}
+
+
+def severity_of_code(code: str) -> str:
+    """The severity a code's first letter encodes (``E``/``W``/``I``)."""
+    try:
+        return _PREFIX_SEVERITY[code[0]]
+    except (KeyError, IndexError):
+        raise ValueError(
+            f"diagnostic code {code!r} must start with one of "
+            f"{', '.join(_PREFIX_SEVERITY)}"
+        ) from None
+
+
+def _matches(code: str, selectors: Sequence[str]) -> bool:
+    """Ruff-style prefix matching: ``E`` hits every error code,
+    ``W2`` every performance warning, ``E101`` exactly one."""
+    return any(code.startswith(selector) for selector in selectors)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: stable code, severity, message, source span."""
+
+    code: str
+    name: str
+    severity: str
+    message: str
+    span: Optional[Span] = field(default=None, compare=False)
+    rule_index: Optional[int] = None
+    predicate: Optional[str] = None
+
+    @property
+    def location(self) -> str:
+        """``line:column`` of the span start, or ``-`` when spanless."""
+        return self.span.location if self.span is not None else "-"
+
+    def render(self, path: str = "") -> str:
+        """The conventional one-line rendering, optionally path-prefixed."""
+        prefix = f"{path}:" if path else ""
+        return f"{prefix}{self.location} {self.code} {self.name}: {self.message}"
+
+    def as_dict(self) -> dict:
+        """A JSON-ready rendering (CLI ``--format json``, server op)."""
+        payload = {
+            "code": self.code,
+            "name": self.name,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.span is not None:
+            payload["line"] = self.span.line
+            payload["column"] = self.span.column
+            payload["end_line"] = self.span.end_line
+            payload["end_column"] = self.span.end_column
+        if self.rule_index is not None:
+            payload["rule"] = self.rule_index
+        if self.predicate is not None:
+            payload["predicate"] = self.predicate
+        return payload
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _sort_key(diagnostic: Diagnostic) -> tuple:
+    span = diagnostic.span
+    if span is None:
+        # Spanless findings (programmatically built rules) sort last,
+        # ordered by code so the report stays deterministic.
+        return (1, 0, 0, diagnostic.code, diagnostic.message)
+    return (0, span.line, span.column, diagnostic.code, diagnostic.message)
+
+
+@dataclass(frozen=True)
+class ProgramDiagnostics:
+    """The immutable report of one lint run over one program."""
+
+    diagnostics: tuple[Diagnostic, ...] = ()
+    #: How many registered passes actually executed to produce this
+    #: report (mirrors ``CompiledProgram.analysis_runs`` testability:
+    #: a cached report re-served must not grow this).
+    passes_run: int = 0
+
+    @classmethod
+    def collect(cls, findings: Iterable[Diagnostic], passes_run: int = 0) -> "ProgramDiagnostics":
+        """Sort findings into source order (spanless last) and freeze."""
+        ordered = tuple(sorted(findings, key=_sort_key))
+        return cls(ordered, passes_run=passes_run)
+
+    # -- container interface ----------------------------------------------
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __bool__(self) -> bool:
+        return bool(self.diagnostics)
+
+    # -- severity views ----------------------------------------------------
+
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == "error")
+
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == "warning")
+
+    def infos(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == "info")
+
+    def counts(self) -> dict:
+        """``{"error": n, "warning": n, "info": n}`` (always all keys)."""
+        result = {severity: 0 for severity in SEVERITIES}
+        for diagnostic in self.diagnostics:
+            result[diagnostic.severity] += 1
+        return result
+
+    def codes(self) -> tuple[str, ...]:
+        """The distinct codes present, sorted."""
+        return tuple(sorted({d.code for d in self.diagnostics}))
+
+    def fails(self, strict: bool = False) -> bool:
+        """Whether this report fails a build: errors always, warnings
+        under ``strict``; infos never."""
+        if any(d.severity == "error" for d in self.diagnostics):
+            return True
+        return strict and any(d.severity == "warning" for d in self.diagnostics)
+
+    # -- filtering ---------------------------------------------------------
+
+    def filter(
+        self,
+        select: Optional[Sequence[str]] = None,
+        ignore: Optional[Sequence[str]] = None,
+    ) -> "ProgramDiagnostics":
+        """Keep codes matching a ``select`` prefix (all when None/empty),
+        then drop codes matching an ``ignore`` prefix."""
+        kept = self.diagnostics
+        if select:
+            kept = tuple(d for d in kept if _matches(d.code, select))
+        if ignore:
+            kept = tuple(d for d in kept if not _matches(d.code, ignore))
+        if kept == self.diagnostics:
+            return self
+        return replace(self, diagnostics=kept)
+
+    # -- renderings --------------------------------------------------------
+
+    def summary(self) -> str:
+        """One stable line: ``clean`` or counts plus the codes present.
+
+        This is the planner's ``lint:`` explain line.
+        """
+        if not self.diagnostics:
+            return "clean"
+        counts = self.counts()
+        parts = [f"{counts[severity]} {severity}(s)" for severity in SEVERITIES if counts[severity]]
+        by_code: dict[str, int] = {}
+        for diagnostic in self.diagnostics:
+            by_code[diagnostic.code] = by_code.get(diagnostic.code, 0) + 1
+        codes = ", ".join(
+            code if count == 1 else f"{code} ×{count}" for code, count in sorted(by_code.items())
+        )
+        return f"{', '.join(parts)} — {codes}"
+
+    def render(self, path: str = "") -> list[str]:
+        """One line per finding, in source order."""
+        return [diagnostic.render(path) for diagnostic in self.diagnostics]
+
+    def as_payload(self) -> dict:
+        """The JSON payload shared by the CLI and the server protocol."""
+        counts = self.counts()
+        return {
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+            "errors": counts["error"],
+            "warnings": counts["warning"],
+            "infos": counts["info"],
+            "summary": self.summary(),
+        }
+
+
+class LintError(ValueError):
+    """A program rejected for error-severity diagnostics.
+
+    Raised by the session layer before planning a query against a
+    program whose lint report contains errors — the static analogue of
+    failing mid-fixpoint, with every finding and its source location in
+    the message.  ``diagnostics`` carries the error-severity findings.
+    """
+
+    def __init__(self, diagnostics: Sequence[Diagnostic], name: str = ""):
+        label = f" {name!r}" if name else ""
+        lines = "\n".join(f"  {d.render()}" for d in diagnostics)
+        super().__init__(
+            f"program{label} has {len(diagnostics)} error-severity "
+            f"diagnostic(s):\n{lines}"
+        )
+        self.diagnostics = tuple(diagnostics)

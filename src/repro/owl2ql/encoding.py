@@ -25,7 +25,7 @@ Derived vocabulary: ``type(x, C)`` and ``triple(x, P, y)``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Set, Tuple
+from typing import Set
 
 from ..core.atoms import Atom
 from ..core.instance import Database

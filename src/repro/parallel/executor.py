@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Set, Tuple
+from typing import Dict, Set, Tuple
 
 from ..analysis.piecewise import is_piecewise_linear
 from ..analysis.wardedness import is_warded

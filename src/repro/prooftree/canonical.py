@@ -19,7 +19,7 @@ non-frozen variables.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set
 
 from ..core.atoms import Atom
 from ..core.terms import Constant, Null, Term, Variable

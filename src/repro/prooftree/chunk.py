@@ -26,11 +26,11 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Optional, Sequence, Set
+from typing import Iterator, Optional, Sequence, Set
 
 from ..core.atoms import Atom, atoms_variables
 from ..core.substitution import Substitution
-from ..core.terms import Constant, Term, Variable
+from ..core.terms import Variable
 from ..core.tgd import TGD
 from ..core.unification import UnionFind
 

@@ -15,7 +15,7 @@ finest one; the validator accepts any set satisfying the definition.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Set
+from typing import Dict, List, Sequence, Set
 
 from ..core.atoms import Atom, atoms_variables
 from ..core.query import ConjunctiveQuery

@@ -16,14 +16,13 @@ output variable and a constant) admits no IDO unifier and is skipped.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Set
+from typing import Dict, Iterator, Optional, Sequence, Set
 
 from ..core.atoms import Atom
 from ..core.query import ConjunctiveQuery
 from ..core.substitution import Substitution
-from ..core.terms import Constant, Term, Variable
+from ..core.terms import Term, Variable
 from ..core.tgd import TGD
 from .chunk import ChunkUnifier, chunk_unifiers
 

@@ -23,11 +23,11 @@ non-output variables with constants of dom(D); that variant lives in
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence
+from typing import Dict, Iterator, Mapping, Optional, Sequence
 
 from ..core.query import ConjunctiveQuery
 from ..core.substitution import Substitution
-from ..core.terms import Term, Variable
+from ..core.terms import Variable
 
 __all__ = ["specialize", "enumerate_specializations", "is_specialization"]
 

@@ -23,7 +23,7 @@ also validate externally supplied trees.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Optional, Sequence, Set
+from typing import Iterator, List, Optional, Sequence
 
 from ..core.atoms import Atom
 from ..core.program import Program

@@ -21,13 +21,12 @@ queries at index speed.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..analysis.levels import node_width_bound_pwl
 from ..analysis.piecewise import is_piecewise_linear
 from ..analysis.wardedness import is_warded
-from ..core.atoms import Atom
 from ..core.instance import Database
 from ..core.program import Program
 from ..core.query import ConjunctiveQuery

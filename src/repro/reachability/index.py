@@ -25,7 +25,7 @@ the classic index trade-off (build work + label size vs. query work).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from .digraph import DiGraph

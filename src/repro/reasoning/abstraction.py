@@ -23,13 +23,12 @@ negative decisions fast (see E2/E4 benchmarks).
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..core.atoms import Atom
 from ..core.instance import Database, Instance
 from ..core.program import Program
 from ..core.substitution import Substitution
-from ..core.terms import Constant, Term, Variable
+from ..core.terms import Constant, Term
 from ..core.tgd import TGD
 from ..datalog.seminaive import seminaive
 

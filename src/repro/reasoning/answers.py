@@ -25,8 +25,8 @@ decisions.  Two auxiliary structures split the work:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Set, Tuple
 
 from ..analysis.piecewise import is_piecewise_linear
 from ..analysis.wardedness import is_warded

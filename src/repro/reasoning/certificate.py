@@ -122,7 +122,7 @@ def extract_certificate(
         operation = _classify_transition(generator, state, successor)
         if operation is None:
             raise CertificateError(
-                f"search produced an unexplainable transition "
+                "search produced an unexplainable transition "
                 f"{state} → {successor}"
             )
         operations.append(operation)

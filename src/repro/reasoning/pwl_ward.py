@@ -18,9 +18,8 @@ space-complexity observable.
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from ..analysis.levels import node_width_bound_pwl
 from ..analysis.piecewise import is_piecewise_linear

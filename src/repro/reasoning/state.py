@@ -30,14 +30,14 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..core.atoms import Atom, atoms_variables
 from ..core.instance import Database
 from ..core.program import Program
 from ..core.substitution import Substitution
-from ..core.terms import Constant, Term, Variable
+from ..core.terms import Term, Variable
 from ..prooftree.canonical import canonical_form
 from ..prooftree.chunk import chunk_unifiers
 

@@ -24,9 +24,8 @@ exactly how Proposition 3.2's PTime data complexity arises.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from ..analysis.levels import node_width_bound_ward
 from ..analysis.wardedness import is_warded

@@ -210,6 +210,25 @@ class ReasoningClient:
             {"op": "update", "changes": changes}, timeout=timeout
         )
 
+    def lint(
+        self,
+        program: Optional[str] = None,
+        *,
+        select=None,
+        ignore=None,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        """Lint *program* text on the server (or, when ``None``, the
+        server's loaded program); the JSON diagnostics payload."""
+        request: dict = {"op": "lint"}
+        if program is not None:
+            request["program"] = program
+        if select:
+            request["select"] = list(select)
+        if ignore:
+            request["ignore"] = list(ignore)
+        return self.call(request, timeout=timeout)
+
     def stats(self, *, timeout: Optional[float] = None) -> dict:
         return self.call({"op": "stats"}, timeout=timeout)["stats"]
 

@@ -1,13 +1,16 @@
 """The wire protocol: newline-delimited JSON request/response frames.
 
 One request per line, one response per line, UTF-8.  Kept deliberately
-minimal — five operations, every response self-describing — so a client
+minimal — six operations, every response self-describing — so a client
 in any language is a socket, a JSON codec, and a line reader:
 
 ``{"op": "query", "query": "q(X) :- path(a, X)."}``
     → ``{"ok": true, "answers": [["b"], ...], "version": 3, ...}``
 ``{"op": "update", "changes": "+edge(d, e).\\n-edge(a, b)."}``
     → ``{"ok": true, "version": 4, "added": 1, "dropped": 1, ...}``
+``{"op": "lint", "program": "t(X) :- e(X, Y).\\n..."}``
+    → ``{"ok": true, "diagnostics": [...], "summary": "...", ...}``
+    (omit ``"program"`` to lint the server's loaded program)
 ``{"op": "stats"}`` / ``{"op": "ping"}`` / ``{"op": "shutdown"}``
 
 Every request may carry an ``"id"``; the response echoes it, so a
@@ -32,7 +35,7 @@ __all__ = [
     "handle_request",
 ]
 
-OPS = ("query", "update", "stats", "ping", "shutdown")
+OPS = ("query", "update", "lint", "stats", "ping", "shutdown")
 
 #: Engine kwargs a query request may carry, mirroring the CLI's knobs.
 QUERY_OPTIONS = (
@@ -124,6 +127,20 @@ def handle_request(
             }
             result = service.query(text, **options)
             return done(result.as_payload())
+        if op == "lint":
+            program = request.get("program")
+            if program is not None and not isinstance(program, str):
+                raise ProtocolError(
+                    "lint op takes 'program' as a text block (omit it "
+                    "to lint the server's loaded program)"
+                )
+            return done(
+                service.lint(
+                    program,
+                    select=request.get("select"),
+                    ignore=request.get("ignore"),
+                )
+            )
         # op == "update"
         changes = request.get("changes")
         if isinstance(changes, list):

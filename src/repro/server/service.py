@@ -45,12 +45,7 @@ from ..storage.sharded import (
     StateDirectory,
     program_fingerprint,
 )
-from .snapshot import (
-    SnapshotLease,
-    SnapshotManager,
-    SnapshotVersion,
-    _store_label,
-)
+from .snapshot import SnapshotManager, SnapshotVersion, _store_label
 
 __all__ = ["QueryResult", "ReasoningService", "UpdateResult", "VersionCaches"]
 
@@ -486,6 +481,30 @@ class ReasoningService:
 
     def explain(self, query: str, **plan_kwargs) -> str:
         return self._session.explain(query, **plan_kwargs)
+
+    def lint(
+        self,
+        program: Optional[str] = None,
+        *,
+        select=None,
+        ignore=None,
+    ) -> dict:
+        """The lint report as a JSON-ready payload (the ``lint`` op).
+
+        With *program* text, lints that text statelessly (a syntax
+        error becomes an ``E001`` finding, never an exception).
+        Without it, serves the *loaded* program's report — cached on
+        the compiled artifact, so repeated calls run no passes.
+        """
+        from ..lint import lint_source
+
+        if program is None:
+            report = self._compiled.diagnostics.filter(select, ignore)
+            name = self.program_name
+        else:
+            report = lint_source(program, select=select, ignore=ignore)
+            name = "<request>"
+        return {"program": name, **report.as_payload()}
 
     # -- write path --------------------------------------------------------
 

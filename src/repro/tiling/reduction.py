@@ -35,8 +35,7 @@ from ..core.atoms import Atom
 from ..core.instance import Database
 from ..core.program import Program
 from ..core.query import ConjunctiveQuery
-from ..core.terms import Constant, Variable
-from ..core.tgd import TGD
+from ..core.terms import Constant
 from ..lang.parser import parse_program, parse_query
 from .solver import has_tiling_within
 from .system import TilingSystem

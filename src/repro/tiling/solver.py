@@ -10,7 +10,7 @@ the reduction's Row/Comp/CTiling predicates build.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from .system import Tile, TilingSystem, is_valid_tiling
 

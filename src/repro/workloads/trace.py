@@ -183,7 +183,7 @@ class Trace:
                 if not isinstance(record, dict) or "schema" not in record:
                     raise TraceError(
                         f"line {line_number}: the first record must be a "
-                        f'header with a "schema" field'
+                        'header with a "schema" field'
                     )
                 unknown = set(record) - _HEADER_FIELDS
                 if unknown:

@@ -18,8 +18,6 @@ from repro.benchsuite import (
     generate_iwarded,
 )
 from repro.chase.runner import chase
-from repro.core.instance import Database
-from repro.core.terms import Constant
 from repro.datalog.seminaive import seminaive
 from repro.engine.operators import OperatorNetwork
 from repro.lang.parser import parse_program, parse_query

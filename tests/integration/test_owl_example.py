@@ -7,10 +7,8 @@ operator network — and checks they all agree on the certain answers.
 
 import pytest
 
-from repro.benchsuite.dbpedia import example_33_program
 from repro.chase.runner import chase
 from repro.chase.termination import DepthPolicy
-from repro.core.terms import Constant
 from repro.lang.parser import parse_program, parse_query
 from repro.reasoning.answers import certain_answers
 

@@ -5,7 +5,6 @@ it breaks.  EXPERIMENTS.md references these tests as the per-claim
 verification index.
 """
 
-import pytest
 
 from repro.analysis.levels import node_width_bound_pwl
 from repro.analysis.linearization import linearize
@@ -103,10 +102,7 @@ class TestTheorem63:
 
 class TestTheorem66:
     def test_program_expressiveness_separation(self):
-        from repro.expressiveness.separation import (
-            refutes_full_program,
-            separation_witness,
-        )
+        from repro.expressiveness.separation import separation_witness
         from repro.reasoning.answers import certain_answers
 
         witness = separation_witness()

@@ -1,6 +1,5 @@
 """Property-based tests for canonical renaming."""
 
-import random
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -11,7 +11,7 @@ from repro.prooftree.decomposition import (
     is_decomposition,
 )
 
-from .strategies import atom_sets, variables
+from .strategies import atom_sets
 
 
 @st.composite

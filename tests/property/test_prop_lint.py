@@ -1,0 +1,131 @@
+"""Property tests for repro.lint.
+
+Invariants:
+
+* well-formed generated programs (safe, positive, arity-consistent)
+  lint with zero error-severity findings;
+* targeted mutations of a well-formed program raise exactly the
+  expected code (and the report stays deterministic across runs);
+* filtering is sound: ``select``/``ignore`` never invent findings, and
+  severity always matches the code's first letter.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang.parser import parse_program
+from repro.lint import lint_source, run_lint, severity_of_code
+
+NODES = 4
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, NODES - 1), st.integers(0, NODES - 1)),
+    min_size=1,
+    max_size=8,
+    unique=True,
+)
+
+# A pool of well-formed rule sets over edge/2: safe, positive,
+# arity-consistent, with every variable read at least twice or
+# underscore-free heads — no error-tier code can fire.
+RULE_SETS = st.sampled_from(
+    [
+        "t(X, Y) :- edge(X, Y).\nt(X, Z) :- edge(X, Y), t(Y, Z).",
+        "sym(X, Y) :- edge(X, Y).\nsym(Y, X) :- edge(X, Y).",
+        "tri(X, Y, Z) :- edge(X, Y), edge(Y, Z), edge(Z, X).",
+        "hop(X, Z) :- edge(X, Y), edge(Y, Z).",
+        "loop(X) :- edge(X, X).",
+    ]
+)
+
+
+def build_text(pairs, rules) -> str:
+    facts = " ".join(f"edge(n{a}, n{b})." for a, b in pairs)
+    return f"{facts}\n{rules}\n"
+
+
+@given(edge_lists, RULE_SETS)
+@settings(max_examples=50, deadline=None)
+def test_well_formed_programs_have_no_errors(pairs, rules):
+    report = lint_source(build_text(pairs, rules))
+    assert not report.errors(), report.render()
+    assert not report.fails()
+    assert report.passes_run > 0
+
+
+@given(edge_lists, RULE_SETS)
+@settings(max_examples=50, deadline=None)
+def test_report_is_deterministic(pairs, rules):
+    text = build_text(pairs, rules)
+    first = lint_source(text)
+    second = lint_source(text)
+    assert first.diagnostics == second.diagnostics
+    assert first.summary() == second.summary()
+
+
+@given(edge_lists, RULE_SETS)
+@settings(max_examples=50, deadline=None)
+def test_severity_always_matches_code_prefix(pairs, rules):
+    # Mutated or not, every finding's severity is derivable from its
+    # code — the stable-code contract scripts rely on.
+    text = build_text(pairs, rules) + "q(X, Y) :- p(X).\n"
+    for diagnostic in lint_source(text):
+        assert diagnostic.severity == severity_of_code(diagnostic.code)
+
+
+@given(edge_lists)
+@settings(max_examples=50, deadline=None)
+def test_arity_mutation_raises_exactly_e102(pairs):
+    # Well-formed base + one unary use of the binary edge predicate.
+    text = build_text(pairs, "t(X, Y) :- edge(X, Y).") + "bad(X) :- edge(X).\n"
+    report = lint_source(text)
+    errors = {d.code for d in report.errors()}
+    assert errors == {"E102"}
+    (finding,) = [d for d in report if d.code == "E102"]
+    assert finding.predicate == "edge"
+
+
+@given(edge_lists)
+@settings(max_examples=50, deadline=None)
+def test_unsafe_negation_mutation_raises_exactly_e101(pairs):
+    text = build_text(pairs, "t(X, Y) :- edge(X, Y).")
+    text += "bad(X) :- edge(X, Y), not other(Z).\n"
+    report = lint_source(text)
+    errors = {d.code for d in report.errors()}
+    assert errors == {"E101"}
+
+
+@given(edge_lists)
+@settings(max_examples=50, deadline=None)
+def test_recursive_negation_mutation_raises_e103(pairs):
+    text = build_text(pairs, "t(X, Y) :- edge(X, Y).")
+    text += "odd(X) :- edge(X, Y), not even(X).\n"
+    text += "even(X) :- edge(X, Y), not odd(X).\n"
+    report = lint_source(text)
+    assert "E103" in {d.code for d in report.errors()}
+
+
+@given(edge_lists, RULE_SETS)
+@settings(max_examples=50, deadline=None)
+def test_filtering_never_invents_findings(pairs, rules):
+    text = build_text(pairs, rules) + "q(X, Y) :- p(X).\np(a).\n"
+    full = lint_source(text)
+    for selector in ["E", "W", "I", "W2", "I1", "E101"]:
+        selected = full.filter(select=[selector])
+        assert set(selected.diagnostics) <= set(full.diagnostics)
+        assert all(d.code.startswith(selector) for d in selected)
+        ignored = full.filter(ignore=[selector])
+        assert set(ignored.diagnostics) <= set(full.diagnostics)
+        assert all(not d.code.startswith(selector) for d in ignored)
+        # select and ignore of the same prefix partition the report.
+        assert len(selected) + len(ignored) == len(full)
+
+
+@given(edge_lists, RULE_SETS)
+@settings(max_examples=30, deadline=None)
+def test_lint_source_agrees_with_run_lint(pairs, rules):
+    text = build_text(pairs, rules)
+    program, database = parse_program(text)
+    assert (
+        lint_source(text).diagnostics
+        == run_lint(program, facts=database).diagnostics
+    )

@@ -7,7 +7,6 @@ transitive closure over the node domain.
 
 from hypothesis import given, settings, strategies as st
 
-from repro.core.atoms import Atom
 from repro.core.terms import Constant
 from repro.datalog.negation import parse_stratified_program, stratified_answers
 from repro.lang.parser import parse_query

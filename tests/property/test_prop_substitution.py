@@ -4,7 +4,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.substitution import Substitution
-from repro.core.terms import Variable
 
 from .strategies import atoms, terms, variables
 

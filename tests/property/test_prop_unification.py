@@ -3,12 +3,11 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.atoms import Atom
 from repro.core.substitution import Substitution
-from repro.core.terms import Constant, Variable
+from repro.core.terms import Variable
 from repro.core.unification import mgu_atoms
 
-from .strategies import atoms, constants, terms, variables
+from .strategies import atoms, constants
 
 
 @given(atoms(), atoms())

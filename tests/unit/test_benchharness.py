@@ -8,7 +8,6 @@ from repro.benchsuite import (
     SCALES,
     SUITES,
     CellResult,
-    SuiteReport,
     answer_digest,
     applicable_engines,
     check_agreement,

@@ -4,10 +4,9 @@ import pytest
 
 from repro.chase.runner import chase, chase_answers
 from repro.chase.termination import DepthPolicy, IsomorphismPolicy
-from repro.chase.trigger import Trigger, all_triggers, fire
+from repro.chase.trigger import all_triggers, fire
 from repro.core.atoms import Atom
-from repro.core.instance import Database
-from repro.core.terms import Constant, Null, NullFactory, Variable
+from repro.core.terms import Constant, Null, NullFactory
 from repro.lang.parser import parse_program, parse_query
 
 a, b, c = Constant("a"), Constant("b"), Constant("c")

@@ -730,3 +730,155 @@ class TestClientMemoryStats:
         for entry in versions.values():
             assert set(entry) == {"atoms", "resident_bytes",
                                   "spilled_bytes"}
+
+
+class TestLint:
+    CLEAN = TC_PROGRAM
+    DEFECTIVE = """
+        e(a, b).
+        p(X) :- e(X, Y).
+        q(X, Y) :- p(X).
+        pair(Y, Z) :- q(X, Y), q(W, Z).
+        odd(X) :- e(X, Y), not even(X).
+        even(X) :- e(X, Y), not odd(X).
+        bad(Z) :- e(X, Y), not e(Y, Z).
+    """
+    WARN_ONLY = """
+        p(a). q(b).
+        pair(X, Y) :- p(X), q(Y).
+    """
+
+    def write(self, tmp_path, text, name="prog.vada"):
+        path = tmp_path / name
+        path.write_text(text)
+        return path
+
+    def test_clean_program_exits_0(self, tmp_path):
+        path = self.write(tmp_path, self.CLEAN)
+        code, output = run(["lint", str(path)])
+        assert code == 0
+        assert "clean" in output
+
+    def test_defective_program_exits_1_with_codes(self, tmp_path):
+        path = self.write(tmp_path, self.DEFECTIVE)
+        code, output = run(["lint", str(path)])
+        assert code == 1
+        for expected in ["E101", "E103", "W201"]:
+            assert expected in output
+        # Findings carry the file path and line:column locations.
+        assert f"{path}:" in output
+
+    def test_warnings_gate_only_under_strict(self, tmp_path):
+        path = self.write(tmp_path, self.WARN_ONLY)
+        code, output = run(["lint", str(path)])
+        assert code == 0
+        assert "W203" in output
+        code, _ = run(["lint", "--strict", str(path)])
+        assert code == 1
+
+    def test_select_and_ignore(self, tmp_path):
+        path = self.write(tmp_path, self.DEFECTIVE)
+        code, output = run(["lint", str(path), "--select", "E1"])
+        assert code == 1
+        assert "E101" in output and "W201" not in output
+        code, output = run(["lint", str(path), "--ignore", "E,W"])
+        assert code == 0
+        assert "E101" not in output
+
+    def test_json_format_and_out_file(self, tmp_path):
+        import json
+
+        path = self.write(tmp_path, self.DEFECTIVE)
+        report_path = tmp_path / "report.json"
+        code, output = run(
+            ["lint", str(path), "--format", "json",
+             "--out", str(report_path)]
+        )
+        assert code == 1
+        payload = json.loads(output)
+        assert payload["failed"] is True
+        (entry,) = payload["files"]
+        assert entry["path"] == str(path)
+        codes = {d["code"] for d in entry["diagnostics"]}
+        assert {"E101", "E103", "W201"} <= codes
+        for diagnostic in entry["diagnostics"]:
+            assert diagnostic["severity"] in ("error", "warning", "info")
+            assert diagnostic["line"] >= 1
+        # --out writes the same payload to disk.
+        assert json.loads(report_path.read_text()) == payload
+
+    def test_multiple_files_aggregate(self, tmp_path):
+        clean = self.write(tmp_path, self.CLEAN, "clean.vada")
+        bad = self.write(tmp_path, self.DEFECTIVE, "bad.vada")
+        code, output = run(["lint", str(clean), str(bad)])
+        assert code == 1
+        assert f"{clean}: clean" in output
+        assert "E101" in output
+
+    def test_syntax_error_becomes_e001(self, tmp_path):
+        path = self.write(tmp_path, "t(X) :- e(X\n")
+        code, output = run(["lint", str(path)])
+        assert code == 1
+        assert "E001" in output and "syntax-error" in output
+
+    def test_missing_file_exits_via_systemexit(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read"):
+            run(["lint", str(tmp_path / "nope.vada")])
+
+    def test_help_lists_registered_codes(self, capsys):
+        from repro.lint import registered_codes
+
+        with pytest.raises(SystemExit):
+            main(["lint", "--help"])
+        help_text = capsys.readouterr().out
+        assert "E001" in help_text
+        for code, _, _, _ in registered_codes():
+            assert code in help_text
+
+
+class TestClientLint:
+    @pytest.fixture
+    def running_server(self, program_file):
+        from repro.server import ReasoningServer, ReasoningService
+
+        service = ReasoningService(program_file, store="columnar")
+        server = ReasoningServer(service, port=0)
+        server.serve_in_thread()
+        yield server.address
+        server.close()
+
+    def test_client_lint_clean_and_defective(self, running_server, tmp_path):
+        host, port = running_server
+        clean = tmp_path / "clean.vada"
+        clean.write_text(TC_PROGRAM)
+        code, output = run(
+            ["client", "--host", host, "--port", str(port),
+             "lint", str(clean)]
+        )
+        assert code == 0
+        assert "clean" in output
+
+        bad = tmp_path / "bad.vada"
+        bad.write_text("bad(Z) :- e(X, Y), not e(Y, Z).\ne(a, b).\n")
+        code, output = run(
+            ["client", "--host", host, "--port", str(port),
+             "lint", str(bad)]
+        )
+        assert code == 1
+        assert "E101" in output
+
+    def test_client_lint_strict_gates_warnings(self, running_server,
+                                               tmp_path):
+        host, port = running_server
+        warn = tmp_path / "warn.vada"
+        warn.write_text("p(a). q(b).\npair(X, Y) :- p(X), q(Y).\n")
+        code, output = run(
+            ["client", "--host", host, "--port", str(port),
+             "lint", str(warn)]
+        )
+        assert code == 0 and "W203" in output
+        code, _ = run(
+            ["client", "--host", host, "--port", str(port),
+             "lint", str(warn), "--strict"]
+        )
+        assert code == 1

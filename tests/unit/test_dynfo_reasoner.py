@@ -5,7 +5,7 @@ import pytest
 from repro.core.atoms import Atom
 from repro.core.terms import Constant
 from repro.dynfo import IncrementalReasoner, closure_pattern
-from repro.lang.parser import parse_program, parse_query
+from repro.lang.parser import parse_program
 from repro.reasoning import certain_answers
 
 a, b, c, d = Constant("a"), Constant("b"), Constant("c"), Constant("d")

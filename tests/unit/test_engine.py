@@ -1,6 +1,5 @@
 """Unit tests for the Section 7 engine: optimizer, guides, network."""
 
-import pytest
 
 from repro.core.terms import Constant
 from repro.engine.guides import LinearForestGuide, NoGuide

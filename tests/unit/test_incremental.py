@@ -16,7 +16,7 @@ from repro.incremental import (
     compose_changes,
     unmaintainable_reason,
 )
-from repro.lang.parser import parse_program, parse_query
+from repro.lang.parser import parse_program
 from repro.storage import BACKENDS
 
 X, Y = Variable("X"), Variable("Y")

@@ -29,7 +29,7 @@ from repro.kernels import (
     kernel_capable,
 )
 from repro.kernels.compiler import CONST, SLOT
-from repro.lang.parser import parse_program, parse_query
+from repro.lang.parser import parse_program
 from repro.server.service import ReasoningService
 from repro.storage import ColumnarStore, ShardedStore, TermTable
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.api import REWRITES, Planner, Session, compile_program
-from repro.core.instance import Database
 from repro.core.terms import Constant
 from repro.datalog.seminaive import datalog_answers, seminaive
 from repro.lang.parser import parse_program, parse_query

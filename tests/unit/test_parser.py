@@ -120,3 +120,69 @@ class TestParseAtom:
     def test_trailing_garbage_rejected(self):
         with pytest.raises(ValueError, match="trailing"):
             parse_atom("edge(a) edge(b)")
+
+
+class TestSourcePositions:
+    def test_typo_on_line_7_reports_line_7(self):
+        # Regression: every syntax failure is a ParserError carrying the
+        # 1-based source position of the offending token — six healthy
+        # lines followed by a missing comma on line 7 must say line 7.
+        text = (
+            "e(a, b).\n"
+            "e(b, c).\n"
+            "e(c, d).\n"
+            "t(X, Y) :- e(X, Y).\n"
+            "t(X, Z) :- e(X, Y), t(Y, Z).\n"
+            "p(X) :- t(a, X).\n"
+            "q(X) :- t(X Y).\n"
+        )
+        with pytest.raises(ParserError) as excinfo:
+            parse_program(text)
+        assert excinfo.value.line == 7
+        assert excinfo.value.column > 1
+        assert "line 7" in str(excinfo.value)
+
+    def test_all_syntax_errors_are_parser_errors(self):
+        # The parser never lets a bare ValueError escape: every grammar
+        # violation is the one positioned type.
+        for bad in [
+            "t(X) :- e(X)",        # missing period
+            "t(X) :- .",           # empty body
+            ":- e(X).",            # missing head
+            "t(X) :- e(X,).",      # trailing comma
+            "t(X)",                # bare atom, no period
+        ]:
+            with pytest.raises(ParserError) as excinfo:
+                parse_program(bad)
+            assert excinfo.value.line >= 1
+            assert excinfo.value.column >= 1
+
+    def test_atom_spans_threaded_from_lexer(self):
+        program, database = parse_program(
+            "e(a, b).\nt(X, Y) :- e(X, Y).\n"
+        )
+        fact = next(iter(database))
+        assert fact.span is not None
+        assert fact.span.whole.line == 1
+        rule = program[0]
+        assert rule.span is not None and rule.span.line == 2
+        head = rule.head[0]
+        assert (head.span.whole.line, head.span.whole.column) == (2, 1)
+        body = rule.body[0]
+        assert (body.span.whole.line, body.span.whole.column) == (2, 12)
+        # Argument spans line up with the argument tuple.
+        assert body.span.arg(0).column == 14
+        assert body.span.arg(1).column == 17
+
+    def test_spans_do_not_affect_identity(self):
+        first, _ = parse_program("t(X) :- e(X).")
+        second, _ = parse_program("\n\n  t(X) :- e(X).")
+        assert first[0] == second[0]
+        assert first[0].span != second[0].span
+
+    def test_negated_literals_parsed(self):
+        program, _ = parse_program("p(X) :- e(X), not f(X).")
+        rule = program[0]
+        assert rule.has_negation()
+        assert [a.predicate for a in rule.negated] == ["f"]
+        assert rule.negated[0].span.whole.line == 1

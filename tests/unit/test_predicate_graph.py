@@ -1,6 +1,5 @@
 """Unit tests for the predicate graph and mutual recursion (Section 4)."""
 
-import pytest
 
 from repro.analysis.predicate_graph import PredicateGraph
 from repro.lang.parser import parse_program

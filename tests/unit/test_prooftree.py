@@ -2,11 +2,8 @@
 
 import pytest
 
-from repro.core.atoms import Atom
 from repro.core.program import Program
-from repro.core.query import ConjunctiveQuery
 from repro.core.terms import Variable
-from repro.core.tgd import TGD
 from repro.lang.parser import parse_program, parse_query
 from repro.prooftree.decomposition import decompose
 from repro.prooftree.resolution import ido_resolvents

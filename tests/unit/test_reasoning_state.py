@@ -3,9 +3,8 @@
 import pytest
 
 from repro.core.atoms import Atom
-from repro.core.instance import Database
 from repro.core.terms import Constant, Variable
-from repro.lang.parser import parse_program, parse_query
+from repro.lang.parser import parse_program
 from repro.reasoning.state import SearchStats, State, SuccessorGenerator
 
 X, Y = Variable("X"), Variable("Y")

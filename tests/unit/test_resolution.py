@@ -1,6 +1,5 @@
 """Unit tests for chunk-based resolution and IDO resolvents."""
 
-import pytest
 
 from repro.core.atoms import Atom
 from repro.core.terms import Constant, Variable

@@ -613,3 +613,72 @@ class TestWarmStart:
         assert service.warm_started is False
         assert service.stats()["state_dir"] is None
         service.checkpoint()  # no-op without a directory
+
+
+DEFECTIVE_PROGRAM = """
+e(a, b).
+p(X) :- e(X, Y).
+q(X, Y) :- p(X).
+pair(Y, Z) :- q(X, Y), q(W, Z).
+bad(Z) :- e(X, Y), not e(Y, Z).
+"""
+
+
+class TestLintOp:
+    def test_service_lints_request_text(self):
+        service = ReasoningService(PROGRAM)
+        payload = service.lint(DEFECTIVE_PROGRAM)
+        assert payload["program"] == "<request>"
+        assert payload["errors"] >= 1
+        codes = {d["code"] for d in payload["diagnostics"]}
+        assert {"E101", "W201"} <= codes
+
+    def test_service_serves_loaded_program_report(self):
+        service = ReasoningService(PROGRAM)
+        payload = service.lint()
+        assert payload["summary"] == "clean"
+        assert payload["diagnostics"] == []
+        # Served from the compiled artifact's cache: no re-runs.
+        from repro.lint import pass_invocations
+
+        before = pass_invocations()
+        for _ in range(5):
+            service.lint()
+        assert pass_invocations() == before
+
+    def test_service_syntax_error_becomes_e001(self):
+        payload = ReasoningService(PROGRAM).lint("t(X) :- e(X\n")
+        (finding,) = payload["diagnostics"]
+        assert finding["code"] == "E001"
+        assert payload["errors"] == 1
+
+    def test_service_select_ignore(self):
+        service = ReasoningService(PROGRAM)
+        payload = service.lint(DEFECTIVE_PROGRAM, select=["E"])
+        assert all(
+            d["code"].startswith("E") for d in payload["diagnostics"]
+        )
+        payload = service.lint(DEFECTIVE_PROGRAM, ignore=["E", "W", "I"])
+        assert payload["diagnostics"] == []
+
+    def test_protocol_lint_op(self):
+        service = ReasoningService(PROGRAM)
+        response = handle_request(
+            service, {"op": "lint", "program": DEFECTIVE_PROGRAM}
+        )
+        assert response["ok"]
+        assert response["errors"] >= 1
+
+    def test_protocol_rejects_non_string_program(self):
+        service = ReasoningService(PROGRAM)
+        response = handle_request(service, {"op": "lint", "program": 7})
+        assert not response["ok"]
+
+    def test_client_lint_round_trip(self, server):
+        host, port = server.address
+        with ReasoningClient(host, port) as client:
+            payload = client.lint(DEFECTIVE_PROGRAM)
+            codes = {d["code"] for d in payload["diagnostics"]}
+            assert "E101" in codes
+            # No program: the loaded program's cached (clean) report.
+            assert client.lint()["summary"] == "clean"

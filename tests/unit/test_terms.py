@@ -1,6 +1,5 @@
 """Unit tests for the term model (constants, variables, nulls)."""
 
-import pytest
 
 from repro.core.terms import (
     Constant,

@@ -1,6 +1,5 @@
 """Unit tests for MGU computation (flat syntactic unification)."""
 
-import pytest
 
 from repro.core.atoms import Atom
 from repro.core.terms import Constant, Null, Variable

@@ -1,7 +1,6 @@
 """Unit tests for :mod:`repro.workloads` — the trace replay harness."""
 
 import math
-import socket
 
 import pytest
 
